@@ -1,0 +1,76 @@
+// Command feedserver exposes the public newly-registered-domain feed
+// (the paper's released zonestream service): it runs a simulated world in
+// real time, pipes the DarkDNS pipeline's detections into a topic, and
+// serves that topic over TCP as JSON lines.
+//
+// Connect with:
+//
+//	nc localhost 7543
+//	LIVE            (or: FROM 0 to replay from the beginning)
+//
+// Usage:
+//
+//	feedserver [-listen 127.0.0.1:7543] [-scale 0.0005] [-tick 500ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"darkdns/internal/core"
+	"darkdns/internal/feed"
+	"darkdns/internal/measure"
+	"darkdns/internal/psl"
+	"darkdns/internal/stream"
+	"darkdns/internal/worldsim"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7543", "feed listen address")
+	scale := flag.Float64("scale", 0.0005, "fraction of paper volume to simulate")
+	tick := flag.Duration("tick", 500*time.Millisecond, "wall-clock interval per simulated hour")
+	seed := flag.Int64("seed", 1, "world seed")
+	flag.Parse()
+
+	w := worldsim.New(worldsim.DefaultConfig(*seed, *scale))
+	start, end := w.Window()
+	bus := stream.NewBus()
+	fleetCfg := measure.DefaultConfig()
+	fleetCfg.StopWhenDead = true
+	fleet := measure.NewFleet(fleetCfg, w.Clock, w.ProbeBackend())
+	p := core.New(core.DefaultConfig(start, end), w.Clock, psl.Default(), w.CZDS,
+		core.MuxQuerier{Mux: w.RDAP}, fleet, bus, *seed+100)
+	p.Start(w.Hub)
+
+	srv := feed.NewServer(bus.Topic("nrd-feed"))
+	addr, err := srv.Serve(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "feedserver:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("feed listening on %s (send LIVE or FROM <offset>)\n", addr)
+	fmt.Printf("simulating %s → %s, one hour per %v\n", start.Format("2006-01-02"), end.Format("2006-01-02"), *tick)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	ticker := time.NewTicker(*tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			w.Clock.Advance(time.Hour)
+			if w.Clock.Now().After(end) {
+				fmt.Println("simulation window complete; feed remains available (Ctrl-C to exit)")
+				ticker.Stop()
+			}
+		case <-stop:
+			fmt.Println("shutting down")
+			srv.Close()
+			w.Stop()
+			return
+		}
+	}
+}

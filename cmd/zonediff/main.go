@@ -1,0 +1,61 @@
+// Command zonediff streams the difference between two TLD zone-file
+// snapshots in O(1) memory — the operation behind Table 1's "Zone NRD"
+// baseline. It prints one line per difference: added/removed/changed and
+// the domain.
+//
+// Usage:
+//
+//	zonediff -tld com old.zone new.zone
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"darkdns/internal/zoneset"
+)
+
+func main() {
+	tld := flag.String("tld", "", "zone apex (e.g. com)")
+	quiet := flag.Bool("q", false, "print only the summary")
+	flag.Parse()
+	if *tld == "" || flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: zonediff -tld <tld> <old.zone> <new.zone>")
+		os.Exit(2)
+	}
+	oldF, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer oldF.Close()
+	newF, err := os.Open(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	defer newF.Close()
+
+	var added, removed, changed int64
+	err = zoneset.StreamDiff(oldF, newF, *tld, func(kind zoneset.DiffKind, domain string) {
+		switch kind {
+		case zoneset.DiffAdded:
+			added++
+		case zoneset.DiffRemoved:
+			removed++
+		case zoneset.DiffChanged:
+			changed++
+		}
+		if !*quiet {
+			fmt.Printf("%s\t%s\n", kind, domain)
+		}
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "added=%d removed=%d changed=%d\n", added, removed, changed)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "zonediff:", err)
+	os.Exit(1)
+}

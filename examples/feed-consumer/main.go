@@ -1,0 +1,58 @@
+// Feed-consumer: consume the public NRD feed over the network — the
+// zonestream service the paper releases. The example runs a feed server
+// in-process (backed by a simulated world), then connects to it over real
+// TCP like any external subscriber would, replaying the full history.
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"darkdns/internal/core"
+	"darkdns/internal/feed"
+	"darkdns/internal/psl"
+	"darkdns/internal/stream"
+	"darkdns/internal/worldsim"
+)
+
+func main() {
+	// Server side: world + pipeline publishing into the feed topic.
+	cfg := worldsim.DefaultConfig(3, 0.0005)
+	cfg.Weeks = 1
+	world := worldsim.New(cfg)
+	start, end := world.Window()
+	bus := stream.NewBus()
+	pipeline := core.New(core.DefaultConfig(start, end), world.Clock, psl.Default(),
+		world.CZDS, core.MuxQuerier{Mux: world.RDAP}, nil, bus, 7)
+	pipeline.Start(world.Hub)
+	world.Run()
+	pipeline.Stop()
+
+	srv := feed.NewServer(bus.Topic("nrd-feed"))
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	fmt.Printf("feed server on %s with %d entries\n\n", addr, bus.Topic("nrd-feed").Len())
+
+	// Client side: replay everything from offset 0 over TCP.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	count := 0
+	total := bus.Topic("nrd-feed").Len()
+	err = feed.NewClient(addr.String()).Stream(ctx, 0, func(e feed.Entry) {
+		if count < 8 {
+			fmt.Printf("  #%-4d %-28s seen %s\n", e.Offset, e.Domain, e.Time.Format("Jan 2 15:04:05"))
+		}
+		count++
+		if count == total {
+			cancel() // consumed the full replay
+		}
+	})
+	if err != nil && err != feed.ErrStopped {
+		panic(err)
+	}
+	fmt.Printf("\nreplayed %d feed entries over TCP\n", count)
+}

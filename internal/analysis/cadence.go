@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"darkdns/internal/registry"
+	"darkdns/internal/simclock"
+)
+
+// ZoneCadence is the result of SOA-serial probing for one TLD — the
+// paper's §4.1 validation ("we validated this assumption by probing the
+// zones of Figure 1 for SOA serial changes, and found consistent
+// timestamps").
+type ZoneCadence struct {
+	TLD             string
+	Changes         int
+	MedianInterval  time.Duration
+	MinimumInterval time.Duration
+}
+
+// MeasureZoneCadence probes a registry's SOA serial every probeEvery for
+// the given window on clk, recording the intervals between observed serial
+// changes. The registry must be receiving registrations during the window
+// for serials to move; callers typically run this against a live world.
+func MeasureZoneCadence(reg *registry.Registry, clk *simclock.Sim, probeEvery, window time.Duration) ZoneCadence {
+	res := ZoneCadence{TLD: reg.TLD()}
+	var intervals []time.Duration
+	last := reg.Serial()
+	lastChange := clk.Now()
+	end := clk.Now().Add(window)
+	t := simclock.NewTicker(clk, probeEvery, func(now time.Time) {
+		s := reg.Serial()
+		if s != last {
+			intervals = append(intervals, now.Sub(lastChange))
+			last = s
+			lastChange = now
+			res.Changes++
+		}
+	})
+	clk.RunUntil(end)
+	t.Stop()
+	if len(intervals) > 0 {
+		sort.Slice(intervals, func(i, j int) bool { return intervals[i] < intervals[j] })
+		res.MedianInterval = intervals[len(intervals)/2]
+		res.MinimumInterval = intervals[0]
+	}
+	return res
+}

@@ -1,0 +1,48 @@
+package analysis
+
+// MailAdoption is the future-work mail-infrastructure measurement (§5):
+// adoption of MX records and SPF policies among transient vs long-lived
+// newly registered domains, from the fleet's extended probes.
+type MailAdoption struct {
+	TransientTotal int
+	TransientMX    int
+	TransientSPF   int
+	NormalTotal    int
+	NormalMX       int
+	NormalSPF      int
+}
+
+// MailStats computes MX/SPF adoption over the fleet's watched domains,
+// split by whether the domain was a confirmed transient. Requires a run
+// whose fleet probed with ProbeMail enabled; otherwise all counters stay
+// zero (the caller can detect this via the totals).
+func MailStats(r *Results) MailAdoption {
+	transient := make(map[string]bool, len(r.Report.Confirmed))
+	for _, c := range r.Report.Confirmed {
+		transient[c.Domain] = true
+	}
+	var m MailAdoption
+	for _, st := range r.Fleet.States() {
+		if !st.EverInZone {
+			continue
+		}
+		if transient[st.Domain] {
+			m.TransientTotal++
+			if st.HasMX {
+				m.TransientMX++
+			}
+			if st.HasSPF {
+				m.TransientSPF++
+			}
+		} else {
+			m.NormalTotal++
+			if st.HasMX {
+				m.NormalMX++
+			}
+			if st.HasSPF {
+				m.NormalSPF++
+			}
+		}
+	}
+	return m
+}

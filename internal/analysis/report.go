@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"darkdns/internal/blocklist"
+)
+
+// WriteFigureCSV emits a figure's series over buckets as CSV, one row per
+// bucket, for external plotting (the paper's figures are CDF plots).
+func WriteFigureCSV(w io.Writer, buckets []time.Duration, series []Series) error {
+	cw := csv.NewWriter(w)
+	header := []string{"bucket_seconds", "bucket_label"}
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, b := range buckets {
+		row := []string{strconv.FormatInt(int64(b.Seconds()), 10), FormatDuration(b)}
+		for _, s := range series {
+			v := 0.0
+			if i < len(s.Values) {
+				v = s.Values[i]
+			}
+			row = append(row, strconv.FormatFloat(v, 'f', 4, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteReport renders the complete evaluation — every table, figure and
+// headline statistic — to w. It is the library-level equivalent of
+// cmd/reproduce.
+func WriteReport(w io.Writer, r *Results) error {
+	out := func(format string, args ...any) {
+		fmt.Fprintf(w, format, args...)
+	}
+	out("%s\n", RenderTable1(Table1(r)))
+
+	buckets, series := Figure1(r)
+	out("%s\n", CDFTable("Figure 1: Difference in registration time per RDAP vs. CT logs (CDF)", buckets, series))
+	w15, w45, med := Figure1Headline(r)
+	out("figure 1 headline: %.0f%% within 15m, %.0f%% within 45m, median %v\n\n",
+		100*w15, 100*w45, med.Round(time.Second))
+
+	kept, total := NSStability(r)
+	out("§4.1 NS stability: %s kept initial NS for 24h (n=%d)\n\n", Pct(kept, total), total)
+
+	out("%s\n", RenderTable2(Table2(r)))
+
+	s := RDAPFailureStats(r)
+	out("§4.2 RDAP failures: NRDs %s, transients %s; failed-with-history %s\n",
+		Pct(s.NRDFailed, s.NRDTotal), Pct(s.TransFailed, s.TransTotal), Pct(s.FailedHistoric, s.TransFailed))
+	out("confirmed transients: %d of %d\n\n", len(r.Report.Confirmed), len(r.Report.LowerBound))
+
+	f2buckets, f2series, cdf := Figure2(r)
+	out("%s\n", CDFTable("Figure 2: Lifetime of transient domain names (CDF)", f2buckets, []Series{f2series}))
+	out("figure 2 headline: %.0f%% die within 6h, median %v (n=%d)\n\n",
+		100*cdf.At(6*time.Hour), cdf.Quantile(0.5).Round(time.Minute), cdf.Len())
+
+	out("%s\n", RenderShares("Table 3: Top 10 Transient Domain Registrars", Table3(r)))
+	out("%s\n", RenderShares("Table 4: Top 5 DNS Hosting (NS record SLDs) of Transient Domains", Table4(r)))
+	out("%s\n", RenderShares("Table 5: Top 5 Web Hosting (A record ASNs) of Transient Domains", Table5(r)))
+
+	pollEnd := r.WindowEnd.Add(90 * 24 * time.Hour)
+	early, trans := BlocklistCoverage(r, pollEnd)
+	out("§4.3 blocklists: early-removed %s flagged (%d post-deletion); transients %s flagged (%d post-deletion)\n\n",
+		Pct(early.Flagged, early.Population), early.Timing[blocklist.AfterDeletion],
+		Pct(trans.Flagged, trans.Population), trans.Timing[blocklist.AfterDeletion])
+
+	day := r.WindowStart.Add(14 * 24 * time.Hour)
+	cmp := CompareNOD(r, day)
+	ct := cmp.Both + cmp.CTOnly
+	nod := cmp.Both + cmp.NODOnly
+	out("§4.4 NOD comparison (%s): CT %d, NOD %d, overlap %s of CT\n\n",
+		day.Format("2006-01-02"), ct, nod, Pct(cmp.Both, ct))
+
+	cc := CCTLDGroundTruth(r)
+	out("§4.4 ccTLD .%s: %d fast-deleted, %d never-in-zone, %d detected (recall %.1f%%)\n",
+		cc.TLD, cc.FastDeleted, cc.NeverInZone, cc.PipelineFound, 100*cc.Recall)
+	return nil
+}

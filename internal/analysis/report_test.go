@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteReportContainsEverything(t *testing.T) {
+	r := testResults(t)
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table 1", "Figure 1", "NS stability", "Table 2", "RDAP failures",
+		"Figure 2", "Table 3", "Table 4", "Table 5", "blocklists",
+		"NOD comparison", "ccTLD .nl",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestWriteFigureCSV(t *testing.T) {
+	r := testResults(t)
+	buckets, series := Figure1(r)
+	var buf bytes.Buffer
+	if err := WriteFigureCSV(&buf, buckets, series); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(buckets)+1 {
+		t.Fatalf("rows = %d, want %d", len(records), len(buckets)+1)
+	}
+	if records[0][0] != "bucket_seconds" || records[0][len(records[0])-1] != "All" {
+		t.Errorf("header: %v", records[0])
+	}
+	// The 15m bucket row must carry the headline value.
+	var found bool
+	for _, row := range records[1:] {
+		if row[1] == "15m" {
+			found = true
+			if row[0] != "900" {
+				t.Errorf("15m bucket seconds = %s", row[0])
+			}
+		}
+	}
+	if !found {
+		t.Error("15m bucket missing")
+	}
+}
+
+func TestWriteFigureCSVEmptySeries(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteFigureCSV(&buf, []time.Duration{time.Minute}, []Series{{Name: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.0000") {
+		t.Errorf("missing padded value:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,132 @@
+// Package asdb implements a longest-prefix-match IP-to-ASN database, the
+// substrate behind the paper's Table 5 attribution of transient-domain web
+// hosting to provider ASNs.
+package asdb
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+)
+
+// AS identifies an autonomous system.
+type AS struct {
+	Number uint32
+	Name   string
+}
+
+// String renders "AS13335 (Cloudflare)".
+func (a AS) String() string { return fmt.Sprintf("AS%d (%s)", a.Number, a.Name) }
+
+// DB maps address prefixes to origin ASNs via longest-prefix match.
+// It is safe for concurrent lookup after construction; Add may be mixed
+// with Lookup as the structure is lock-protected.
+type DB struct {
+	mu       sync.RWMutex
+	prefixes []entry // sorted by prefix length descending for LPM scan
+	names    map[uint32]string
+	sorted   bool
+}
+
+type entry struct {
+	prefix netip.Prefix
+	asn    uint32
+}
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{names: make(map[uint32]string)}
+}
+
+// ErrNoRoute is returned by Lookup for unrouted addresses.
+var ErrNoRoute = errors.New("asdb: address not announced")
+
+// Add announces prefix from asn. Later announcements of the same prefix
+// override earlier ones.
+func (db *DB) Add(prefix netip.Prefix, asn uint32, name string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	prefix = prefix.Masked()
+	for i := range db.prefixes {
+		if db.prefixes[i].prefix == prefix {
+			db.prefixes[i].asn = asn
+			db.names[asn] = name
+			return
+		}
+	}
+	db.prefixes = append(db.prefixes, entry{prefix: prefix, asn: asn})
+	db.names[asn] = name
+	db.sorted = false
+}
+
+// MustAdd parses the CIDR and adds it, panicking on malformed input.
+// Intended for static tables.
+func (db *DB) MustAdd(cidr string, asn uint32, name string) {
+	db.Add(netip.MustParsePrefix(cidr), asn, name)
+}
+
+// Lookup returns the AS originating addr's longest matching prefix.
+func (db *DB) Lookup(addr netip.Addr) (AS, error) {
+	db.mu.RLock()
+	if !db.sorted {
+		db.mu.RUnlock()
+		db.mu.Lock()
+		sort.SliceStable(db.prefixes, func(i, j int) bool {
+			return db.prefixes[i].prefix.Bits() > db.prefixes[j].prefix.Bits()
+		})
+		db.sorted = true
+		db.mu.Unlock()
+		db.mu.RLock()
+	}
+	defer db.mu.RUnlock()
+	for _, e := range db.prefixes {
+		if e.prefix.Contains(addr) {
+			return AS{Number: e.asn, Name: db.names[e.asn]}, nil
+		}
+	}
+	return AS{}, ErrNoRoute
+}
+
+// Name returns the registered name for asn ("" when unknown).
+func (db *DB) Name(asn uint32) string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.names[asn]
+}
+
+// Len returns the number of announced prefixes.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.prefixes)
+}
+
+// Default returns a database pre-populated with the hosting providers the
+// DarkDNS evaluation attributes transient domains to (Table 5), using each
+// provider's well-known address space.
+func Default() *DB {
+	db := New()
+	db.MustAdd("104.16.0.0/13", 13335, "Cloudflare")
+	db.MustAdd("172.64.0.0/13", 13335, "Cloudflare")
+	db.MustAdd("2606:4700::/32", 13335, "Cloudflare")
+	db.MustAdd("84.32.84.0/24", 47583, "Hostinger")
+	db.MustAdd("145.14.144.0/20", 47583, "Hostinger")
+	db.MustAdd("2a02:4780::/32", 47583, "Hostinger")
+	db.MustAdd("52.0.0.0/11", 16509, "Amazon")
+	db.MustAdd("54.144.0.0/12", 16509, "Amazon")
+	db.MustAdd("2600:1f00::/24", 16509, "Amazon")
+	db.MustAdd("198.185.159.0/24", 53831, "Squarespace")
+	db.MustAdd("198.49.23.0/24", 53831, "Squarespace")
+	db.MustAdd("162.255.116.0/22", 22612, "Namecheap")
+	db.MustAdd("2602:fd3f::/36", 22612, "Namecheap")
+	db.MustAdd("166.62.0.0/16", 26496, "GoDaddy")
+	db.MustAdd("192.0.78.0/23", 2635, "Automattic")
+	db.MustAdd("74.125.0.0/16", 15169, "Google")
+	db.MustAdd("2607:f8b0::/32", 15169, "Google")
+	db.MustAdd("157.240.0.0/16", 32934, "Meta")
+	db.MustAdd("13.64.0.0/11", 8075, "Microsoft")
+	db.MustAdd("185.199.108.0/22", 54113, "Fastly")
+	return db
+}

@@ -1,0 +1,112 @@
+package asdb
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+)
+
+func TestLookupBasic(t *testing.T) {
+	db := Default()
+	cases := []struct {
+		addr string
+		asn  uint32
+	}{
+		{"104.16.1.1", 13335},
+		{"172.67.9.9", 13335},
+		{"84.32.84.10", 47583},
+		{"52.20.1.2", 16509},
+		{"198.49.23.144", 53831},
+		{"162.255.119.250", 22612},
+		{"2606:4700::1", 13335},
+	}
+	for _, c := range cases {
+		as, err := db.Lookup(netip.MustParseAddr(c.addr))
+		if err != nil {
+			t.Errorf("Lookup(%s): %v", c.addr, err)
+			continue
+		}
+		if as.Number != c.asn {
+			t.Errorf("Lookup(%s) = %v, want AS%d", c.addr, as, c.asn)
+		}
+	}
+}
+
+func TestLookupNoRoute(t *testing.T) {
+	db := Default()
+	if _, err := db.Lookup(netip.MustParseAddr("203.0.113.7")); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("want ErrNoRoute, got %v", err)
+	}
+}
+
+func TestLongestPrefixWins(t *testing.T) {
+	db := New()
+	db.MustAdd("10.0.0.0/8", 100, "Big")
+	db.MustAdd("10.1.0.0/16", 200, "Specific")
+	as, err := db.Lookup(netip.MustParseAddr("10.1.2.3"))
+	if err != nil || as.Number != 200 {
+		t.Errorf("LPM: %v, %v", as, err)
+	}
+	as, err = db.Lookup(netip.MustParseAddr("10.2.2.3"))
+	if err != nil || as.Number != 100 {
+		t.Errorf("fallback: %v, %v", as, err)
+	}
+}
+
+func TestAddOverridesSamePrefix(t *testing.T) {
+	db := New()
+	db.MustAdd("10.0.0.0/8", 100, "Old")
+	db.MustAdd("10.0.0.0/8", 200, "New")
+	if db.Len() != 1 {
+		t.Errorf("Len = %d, want 1", db.Len())
+	}
+	as, _ := db.Lookup(netip.MustParseAddr("10.0.0.1"))
+	if as.Number != 200 || as.Name != "New" {
+		t.Errorf("override: %v", as)
+	}
+}
+
+func TestUnmaskedPrefixNormalized(t *testing.T) {
+	db := New()
+	db.Add(netip.MustParsePrefix("10.1.2.3/8"), 42, "X")
+	if as, err := db.Lookup(netip.MustParseAddr("10.200.0.1")); err != nil || as.Number != 42 {
+		t.Errorf("masked add: %v %v", as, err)
+	}
+}
+
+func TestNameAndString(t *testing.T) {
+	db := Default()
+	if db.Name(13335) != "Cloudflare" {
+		t.Errorf("Name = %q", db.Name(13335))
+	}
+	if db.Name(99999) != "" {
+		t.Error("unknown ASN should have empty name")
+	}
+	if got := (AS{13335, "Cloudflare"}).String(); got != "AS13335 (Cloudflare)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestInterleavedAddLookup(t *testing.T) {
+	db := New()
+	db.MustAdd("10.0.0.0/8", 1, "A")
+	if _, err := db.Lookup(netip.MustParseAddr("10.0.0.1")); err != nil {
+		t.Fatal(err)
+	}
+	db.MustAdd("10.1.0.0/16", 2, "B") // added after a lookup sorted the table
+	as, err := db.Lookup(netip.MustParseAddr("10.1.0.1"))
+	if err != nil || as.Number != 2 {
+		t.Errorf("post-sort add: %v %v", as, err)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	db := Default()
+	addr := netip.MustParseAddr("104.16.1.1")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Lookup(addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package blocklist
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2023, 11, 1, 0, 0, 0, 0, time.UTC)
+
+func TestDefaultListsShape(t *testing.T) {
+	lists := DefaultLists()
+	if len(lists) != 10 {
+		t.Fatalf("lists = %d, want 10 (paper §4.3)", len(lists))
+	}
+	sum := 0.0
+	for _, l := range lists {
+		if l.HitRate <= 0 || l.HitRate > 0.1 {
+			t.Errorf("%s hit rate %.3f implausible", l.Name, l.HitRate)
+		}
+		if l.LatencyMean < 24*time.Hour {
+			t.Errorf("%s latency %v implausibly fast for a public list", l.Name, l.LatencyMean)
+		}
+		sum += l.HitRate
+	}
+	// Union coverage must land near the paper's 6.6 % for abusive NRDs.
+	if sum < 0.05 || sum > 0.09 {
+		t.Errorf("aggregate hit rate %.3f outside plausible band", sum)
+	}
+}
+
+func TestConsiderAbusiveCoverageConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewAggregator(nil)
+	const n = 30_000
+	flagged := 0
+	for i := 0; i < n; i++ {
+		d := domainN(i)
+		if a.ConsiderAbusive(rng, d, t0) > 0 {
+			flagged++
+		}
+	}
+	rate := float64(flagged) / n
+	// Union of list hit rates ≈ 1-∏(1-p) ≈ 0.065 (paper: 6.6 %).
+	if rate < 0.05 || rate > 0.09 {
+		t.Errorf("flag rate %.4f outside [0.05, 0.09]", rate)
+	}
+}
+
+func TestFirstListedRespectsPollWindow(t *testing.T) {
+	a := NewAggregator(nil)
+	a.SeedFlag("DBL", "x.com", t0.Add(48*time.Hour))
+	if _, ok := a.FirstListed("x.com", t0.Add(24*time.Hour)); ok {
+		t.Error("flag visible before it happened")
+	}
+	f, ok := a.FirstListed("x.com", t0.Add(72*time.Hour))
+	if !ok || f.List != "DBL" {
+		t.Errorf("flag: %+v, %v", f, ok)
+	}
+}
+
+func TestFirstListedOrdering(t *testing.T) {
+	a := NewAggregator(nil)
+	a.SeedFlag("OpenPhish", "x.com", t0.Add(5*time.Hour))
+	a.SeedFlag("DBL", "x.com", t0.Add(2*time.Hour))
+	f, ok := a.FirstListed("x.com", t0.Add(100*time.Hour))
+	if !ok || f.List != "DBL" {
+		t.Errorf("earliest flag should win: %+v", f)
+	}
+	if len(a.Flags("x.com")) != 2 {
+		t.Error("Flags should return all events")
+	}
+}
+
+func TestFlaggedDomains(t *testing.T) {
+	a := NewAggregator(nil)
+	a.SeedFlag("DBL", "b.com", t0)
+	a.SeedFlag("DBL", "a.com", t0)
+	a.SeedFlag("DBL", "late.com", t0.Add(999*time.Hour))
+	got := a.FlaggedDomains(t0.Add(time.Hour))
+	if len(got) != 2 || got[0] != "a.com" {
+		t.Errorf("FlaggedDomains = %v", got)
+	}
+}
+
+func TestClassifyTaxonomy(t *testing.T) {
+	created := t0.Add(10 * time.Hour)
+	deleted := created.Add(5 * time.Hour)
+	pollEnd := t0.Add(180 * 24 * time.Hour)
+	cases := []struct {
+		name string
+		at   time.Time
+		want Timing
+	}{
+		{"pre.com", created.Add(-30 * 24 * time.Hour), BeforeRegistration},
+		{"post.com", deleted.Add(72 * time.Hour), AfterDeletion},
+		{"sameday.com", created.Add(2 * time.Hour), OnRegistrationDay},
+		{"active.com", created.Add(30 * time.Hour), WhileActive},
+	}
+	for _, c := range cases {
+		a := NewAggregator(nil)
+		a.SeedFlag("DBL", c.name, c.at)
+		del := deleted
+		if c.want == WhileActive {
+			del = created.Add(60 * 24 * time.Hour)
+		}
+		if got := a.Classify(c.name, created, del, pollEnd); got != c.want {
+			t.Errorf("Classify(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+	a := NewAggregator(nil)
+	if got := a.Classify("unflagged.com", created, deleted, pollEnd); got != NotFlagged {
+		t.Errorf("unflagged: %v", got)
+	}
+}
+
+func TestTimingStrings(t *testing.T) {
+	for tm, want := range map[Timing]string{
+		NotFlagged: "not-flagged", BeforeRegistration: "before-registration",
+		WhileActive: "while-active", OnRegistrationDay: "on-registration-day",
+		AfterDeletion: "after-deletion", Timing(99): "unknown",
+	} {
+		if tm.String() != want {
+			t.Errorf("%d.String() = %q", tm, tm.String())
+		}
+	}
+}
+
+func TestTransientFlagsMostlyPostDeletion(t *testing.T) {
+	// Core §4.3 shape: transient domains (lifetime < 24 h) flagged by
+	// day-scale-latency lists land overwhelmingly after deletion.
+	rng := rand.New(rand.NewSource(7))
+	a := NewAggregator(nil)
+	pollEnd := t0.Add(180 * 24 * time.Hour)
+	post, total := 0, 0
+	for i := 0; i < 60_000; i++ {
+		d := domainN(i)
+		created := t0.Add(time.Duration(i%720) * time.Hour)
+		deleted := created.Add(time.Duration(1+i%23) * time.Hour)
+		if a.ConsiderAbusive(rng, d, created) == 0 {
+			continue
+		}
+		total++
+		if a.Classify(d, created, deleted, pollEnd) == AfterDeletion {
+			post++
+		}
+	}
+	if total < 100 {
+		t.Fatalf("too few flagged domains to assess: %d", total)
+	}
+	share := float64(post) / float64(total)
+	if share < 0.85 {
+		t.Errorf("post-deletion share %.3f, want ≥0.85 (paper: 94%%)", share)
+	}
+}
+
+func domainN(i int) string {
+	b := []byte("dddddd.com")
+	for p := 0; p < 6; p++ {
+		b[p] = byte('a' + i%26)
+		i /= 26
+	}
+	return string(b)
+}

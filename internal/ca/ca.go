@@ -1,0 +1,180 @@
+// Package ca simulates certificate authorities issuing Domain-Validated
+// certificates and logging precertificates to CT.
+//
+// The behaviour DarkDNS depends on (§3 and §4.2 of the paper):
+//
+//   - A CA validates domain control (here: the domain resolves in its TLD
+//     zone) before issuing, then logs a precertificate.
+//   - Per CA/Browser Forum BR §4.2.1, a CA may reuse cached validation
+//     evidence for up to 398 days. A renewal request within that window is
+//     issued WITHOUT re-validating — which is how certificates appear for
+//     domains that no longer exist (cause iii of RDAP failures).
+//   - Issuance lags domain activation: the domain must be resolvable
+//     before validation succeeds, so cert-based detection time inherits
+//     the TLD zone-update cadence (Figure 1).
+package ca
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"darkdns/internal/ct"
+	"darkdns/internal/dnsname"
+	"darkdns/internal/simclock"
+)
+
+// DVReuseWindow is the CA/Browser Forum baseline maximum age of cached
+// domain-validation evidence.
+const DVReuseWindow = 398 * 24 * time.Hour
+
+// Resolver is the CA's view of the DNS: whether a name currently resolves
+// (i.e. its registered domain is delegated in the TLD zone).
+type Resolver interface {
+	Resolves(name string) bool
+}
+
+// ResolverFunc adapts a function to Resolver.
+type ResolverFunc func(name string) bool
+
+// Resolves implements Resolver.
+func (f ResolverFunc) Resolves(name string) bool { return f(name) }
+
+// Errors returned by Issue.
+var (
+	ErrValidationFailed = errors.New("ca: domain validation failed")
+)
+
+// Config parameterizes a CA.
+type Config struct {
+	Name string
+	// ValidationDelay samples the time between an issuance request and
+	// the precertificate hitting the CT log (ACME round trips, queueing).
+	ValidationDelay func(rng *rand.Rand) time.Duration
+}
+
+// DefaultValidationDelay mimics observed ACME latencies: most issuances
+// land within a few seconds to a couple of minutes.
+func DefaultValidationDelay(rng *rand.Rand) time.Duration {
+	// Log-normal-ish: 5 s base + exponential tail, capped at 10 min.
+	d := 5*time.Second + time.Duration(rng.ExpFloat64()*float64(30*time.Second))
+	if d > 10*time.Minute {
+		d = 10 * time.Minute
+	}
+	return d
+}
+
+// CA is a simulated certificate authority.
+type CA struct {
+	cfg  Config
+	clk  simclock.Clock
+	rng  *rand.Rand
+	res  Resolver
+	logs []*ct.Log
+
+	mu     sync.Mutex
+	tokens map[string]time.Time // registered domain → validation time
+	issued int64
+	reused int64
+}
+
+// New creates a CA that validates against res and logs to logs.
+func New(cfg Config, clk simclock.Clock, rng *rand.Rand, res Resolver, logs ...*ct.Log) *CA {
+	if cfg.ValidationDelay == nil {
+		cfg.ValidationDelay = DefaultValidationDelay
+	}
+	return &CA{cfg: cfg, clk: clk, rng: rng, res: res, logs: logs,
+		tokens: make(map[string]time.Time)}
+}
+
+// Name returns the CA's display name (the CT entry issuer).
+func (c *CA) Name() string { return c.cfg.Name }
+
+// Stats returns cumulative issuance counts: total issued and how many
+// were issued off a cached DV token without fresh validation.
+func (c *CA) Stats() (issued, reusedToken int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.issued, c.reused
+}
+
+// Issue requests a certificate for cn (plus optional extra SANs), keyed on
+// the registered domain regDomain for DV-token caching. The precertificate
+// is logged after the CA's validation delay. The done callback, if
+// non-nil, fires with the logged entry or a validation error.
+func (c *CA) Issue(regDomain, cn string, sans []string, done func(ct.Entry, error)) {
+	regDomain = dnsname.Canonical(regDomain)
+	cn = dnsname.Canonical(cn)
+	delay := c.cfg.ValidationDelay(c.rng)
+	c.clk.After(delay, func() {
+		now := c.clk.Now()
+		ok, fresh := c.validate(regDomain, now)
+		if !ok {
+			if done != nil {
+				done(ct.Entry{}, ErrValidationFailed)
+			}
+			return
+		}
+		c.mu.Lock()
+		c.issued++
+		if !fresh {
+			c.reused++
+		}
+		c.mu.Unlock()
+		entry := c.logPrecert(now, cn, sans)
+		if done != nil {
+			done(entry, nil)
+		}
+	})
+}
+
+// validate checks domain control, consulting the DV-token cache first.
+// fresh is true when live validation was performed.
+func (c *CA) validate(regDomain string, now time.Time) (ok, fresh bool) {
+	c.mu.Lock()
+	tok, has := c.tokens[regDomain]
+	c.mu.Unlock()
+	if has && now.Sub(tok) <= DVReuseWindow {
+		return true, false // cached evidence, no live check
+	}
+	if !c.res.Resolves(regDomain) {
+		return false, true
+	}
+	c.mu.Lock()
+	c.tokens[regDomain] = now
+	c.mu.Unlock()
+	return true, true
+}
+
+// HasToken reports whether the CA holds unexpired validation evidence for
+// regDomain at time now.
+func (c *CA) HasToken(regDomain string, now time.Time) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tok, has := c.tokens[dnsname.Canonical(regDomain)]
+	return has && now.Sub(tok) <= DVReuseWindow
+}
+
+// SeedToken plants validation evidence obtained at when — used by the
+// world simulator to model domains that existed (and were validated) in
+// the past, before the simulation window (the ≈97 % DZDB-confirmed
+// population in §4.2).
+func (c *CA) SeedToken(regDomain string, when time.Time) {
+	c.mu.Lock()
+	c.tokens[dnsname.Canonical(regDomain)] = when
+	c.mu.Unlock()
+}
+
+// logPrecert appends the precertificate to every configured CT log and
+// returns the entry from the first log.
+func (c *CA) logPrecert(now time.Time, cn string, sans []string) ct.Entry {
+	var first ct.Entry
+	for i, l := range c.logs {
+		e := l.Append(now, ct.PreCertificate, c.cfg.Name, cn, sans, now)
+		if i == 0 {
+			first = e
+		}
+	}
+	return first
+}

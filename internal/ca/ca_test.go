@@ -1,0 +1,171 @@
+package ca
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"darkdns/internal/ct"
+	"darkdns/internal/simclock"
+)
+
+var t0 = time.Date(2023, 11, 1, 0, 0, 0, 0, time.UTC)
+
+type fakeZone map[string]bool
+
+func (z fakeZone) Resolves(name string) bool { return z[name] }
+
+func fixedDelay(d time.Duration) func(*rand.Rand) time.Duration {
+	return func(*rand.Rand) time.Duration { return d }
+}
+
+func newCA(zone fakeZone, delay time.Duration) (*CA, *simclock.Sim, *ct.Log) {
+	clk := simclock.NewSim(t0)
+	log := ct.NewLog("test", nil)
+	c := New(Config{Name: "TestCA", ValidationDelay: fixedDelay(delay)}, clk,
+		rand.New(rand.NewSource(1)), zone, log)
+	return c, clk, log
+}
+
+func TestIssueValidatesAndLogs(t *testing.T) {
+	zone := fakeZone{"example.com": true}
+	c, clk, log := newCA(zone, 10*time.Second)
+	var got ct.Entry
+	var gotErr error
+	c.Issue("example.com", "example.com", []string{"www.example.com"}, func(e ct.Entry, err error) {
+		got, gotErr = e, err
+	})
+	if log.Size() != 0 {
+		t.Fatal("logged before validation delay")
+	}
+	clk.Advance(10 * time.Second)
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if log.Size() != 1 {
+		t.Fatalf("log size = %d", log.Size())
+	}
+	if got.Kind != ct.PreCertificate || got.Issuer != "TestCA" || got.CN != "example.com" {
+		t.Errorf("entry: %+v", got)
+	}
+	if !got.Logged.Equal(t0.Add(10 * time.Second)) {
+		t.Errorf("Logged = %v", got.Logged)
+	}
+}
+
+func TestIssueFailsForUnresolvableDomain(t *testing.T) {
+	c, clk, log := newCA(fakeZone{}, time.Second)
+	var gotErr error
+	c.Issue("ghost.com", "ghost.com", nil, func(_ ct.Entry, err error) { gotErr = err })
+	clk.Advance(time.Second)
+	if !errors.Is(gotErr, ErrValidationFailed) {
+		t.Errorf("want ErrValidationFailed, got %v", gotErr)
+	}
+	if log.Size() != 0 {
+		t.Error("failed validation must not log")
+	}
+}
+
+func TestDVTokenReuseIssuesForDeadDomain(t *testing.T) {
+	// The §4.2 cause-iii behaviour: a domain validated in the past can
+	// get a certificate after deletion, within the 398-day window.
+	zone := fakeZone{"dead.com": true}
+	c, clk, log := newCA(zone, time.Second)
+	c.Issue("dead.com", "dead.com", nil, nil)
+	clk.Advance(time.Second)
+	if log.Size() != 1 {
+		t.Fatal("setup issuance failed")
+	}
+	delete(zone, "dead.com") // domain removed from zone
+	var gotErr error
+	c.Issue("dead.com", "dead.com", nil, func(_ ct.Entry, err error) { gotErr = err })
+	clk.Advance(time.Second)
+	if gotErr != nil {
+		t.Fatalf("reissue with cached token failed: %v", gotErr)
+	}
+	if log.Size() != 2 {
+		t.Error("reissue not logged")
+	}
+	issued, reused := c.Stats()
+	if issued != 2 || reused != 1 {
+		t.Errorf("stats: issued=%d reused=%d", issued, reused)
+	}
+}
+
+func TestDVTokenExpiresAfter398Days(t *testing.T) {
+	zone := fakeZone{"old.com": true}
+	c, clk, _ := newCA(zone, time.Second)
+	c.Issue("old.com", "old.com", nil, nil)
+	clk.Advance(time.Second)
+	delete(zone, "old.com")
+	clk.Advance(DVReuseWindow + time.Hour)
+	var gotErr error
+	c.Issue("old.com", "old.com", nil, func(_ ct.Entry, err error) { gotErr = err })
+	clk.Advance(time.Second)
+	if !errors.Is(gotErr, ErrValidationFailed) {
+		t.Errorf("expired token should force re-validation: %v", gotErr)
+	}
+}
+
+func TestSeedTokenModelsHistoricalValidation(t *testing.T) {
+	c, clk, log := newCA(fakeZone{}, time.Second)
+	c.SeedToken("historic.com", t0.Add(-100*24*time.Hour))
+	if !c.HasToken("historic.com", t0) {
+		t.Fatal("seeded token missing")
+	}
+	var gotErr error
+	c.Issue("historic.com", "historic.com", nil, func(_ ct.Entry, err error) { gotErr = err })
+	clk.Advance(time.Second)
+	if gotErr != nil || log.Size() != 1 {
+		t.Errorf("historic issuance: %v, log=%d", gotErr, log.Size())
+	}
+	// A token seeded beyond the window must not validate.
+	c.SeedToken("ancient.com", t0.Add(-500*24*time.Hour))
+	if c.HasToken("ancient.com", t0) {
+		t.Error("expired seed treated as valid")
+	}
+}
+
+func TestFreshValidationRefreshesToken(t *testing.T) {
+	zone := fakeZone{"x.com": true}
+	c, clk, _ := newCA(zone, time.Second)
+	c.Issue("x.com", "x.com", nil, nil)
+	clk.Advance(time.Second)
+	first := clk.Now()
+	// 200 days later, another issuance re-validates (token still fresh ⇒
+	// actually reuses). Then at 397 days from the *first* validation the
+	// token is still valid.
+	clk.Advance(200 * 24 * time.Hour)
+	c.Issue("x.com", "x.com", nil, nil)
+	clk.Advance(time.Second)
+	_, reused := c.Stats()
+	if reused != 1 {
+		t.Errorf("second issuance should reuse, reused=%d", reused)
+	}
+	if !c.HasToken("x.com", first.Add(397*24*time.Hour)) {
+		t.Error("token should still be valid at +397d from validation")
+	}
+}
+
+func TestMultipleLogsAllReceive(t *testing.T) {
+	clk := simclock.NewSim(t0)
+	l1, l2 := ct.NewLog("a", nil), ct.NewLog("b", nil)
+	c := New(Config{Name: "CA", ValidationDelay: fixedDelay(0)}, clk,
+		rand.New(rand.NewSource(1)), fakeZone{"x.com": true}, l1, l2)
+	c.Issue("x.com", "x.com", nil, nil)
+	clk.Advance(0)
+	if l1.Size() != 1 || l2.Size() != 1 {
+		t.Errorf("log sizes: %d, %d", l1.Size(), l2.Size())
+	}
+}
+
+func TestDefaultValidationDelayBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 10_000; i++ {
+		d := DefaultValidationDelay(rng)
+		if d < 5*time.Second || d > 10*time.Minute {
+			t.Fatalf("delay %v out of bounds", d)
+		}
+	}
+}

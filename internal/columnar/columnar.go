@@ -1,0 +1,481 @@
+// Package columnar implements a small Parquet-inspired columnar storage
+// format used by the DarkDNS pipeline to persist measurement batches for
+// longitudinal analysis (the paper stores Kafka topic contents as Parquet
+// in object storage).
+//
+// A file is a sequence of row groups. Each column chunk is independently
+// encoded: strings use dictionary encoding with varint indexes, integers
+// use zigzag-varint deltas, and booleans use run-length encoding. The
+// format is self-describing: the schema is embedded in the header.
+//
+// Layout:
+//
+//	magic "DCOL1\n"
+//	varint schemaLen, schema (name:type pairs)
+//	row groups:
+//	  varint rowCount (0 = end of file)
+//	  per column: varint chunkLen, chunk bytes
+package columnar
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ColType is a column's value type.
+type ColType uint8
+
+// Supported column types.
+const (
+	TypeString ColType = iota
+	TypeInt64
+	TypeBool
+)
+
+// String returns the schema mnemonic.
+func (t ColType) String() string {
+	switch t {
+	case TypeString:
+		return "string"
+	case TypeInt64:
+		return "int64"
+	case TypeBool:
+		return "bool"
+	}
+	return fmt.Sprintf("type%d", uint8(t))
+}
+
+func parseColType(s string) (ColType, error) {
+	switch s {
+	case "string":
+		return TypeString, nil
+	case "int64":
+		return TypeInt64, nil
+	case "bool":
+		return TypeBool, nil
+	}
+	return 0, fmt.Errorf("columnar: unknown column type %q", s)
+}
+
+// Column describes one schema column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema is an ordered column list.
+type Schema []Column
+
+// String renders "name:type,name:type".
+func (s Schema) String() string {
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = c.Name + ":" + c.Type.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSchema inverts Schema.String.
+func ParseSchema(s string) (Schema, error) {
+	if s == "" {
+		return nil, errors.New("columnar: empty schema")
+	}
+	parts := strings.Split(s, ",")
+	out := make(Schema, 0, len(parts))
+	for _, p := range parts {
+		name, ts, ok := strings.Cut(p, ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("columnar: bad schema field %q", p)
+		}
+		ct, err := parseColType(ts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Column{Name: name, Type: ct})
+	}
+	return out, nil
+}
+
+// Index returns the position of the named column, or -1.
+func (s Schema) Index(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Value is a dynamically typed cell.
+type Value struct {
+	S string
+	I int64
+	B bool
+}
+
+// String builds a string cell.
+func String(s string) Value { return Value{S: s} }
+
+// Int builds an int64 cell.
+func Int(i int64) Value { return Value{I: i} }
+
+// Bool builds a bool cell.
+func Bool(b bool) Value { return Value{B: b} }
+
+const magic = "DCOL1\n"
+
+// Writer writes row groups to an underlying writer.
+type Writer struct {
+	w       *bufio.Writer
+	schema  Schema
+	started bool
+
+	// pending row-group buffers, one per column
+	strs  [][]string
+	ints  [][]int64
+	bools [][]bool
+	rows  int
+	// groupRows is the row-group flush threshold.
+	groupRows int
+}
+
+// NewWriter creates a writer with the given schema. groupRows controls the
+// row-group size (<=0 selects the 8192 default).
+func NewWriter(w io.Writer, schema Schema, groupRows int) *Writer {
+	if groupRows <= 0 {
+		groupRows = 8192
+	}
+	cw := &Writer{
+		w: bufio.NewWriterSize(w, 64<<10), schema: schema, groupRows: groupRows,
+		strs: make([][]string, len(schema)), ints: make([][]int64, len(schema)),
+		bools: make([][]bool, len(schema)),
+	}
+	return cw
+}
+
+// Append adds one row. The values must match the schema arity and types.
+func (w *Writer) Append(row ...Value) error {
+	if len(row) != len(w.schema) {
+		return fmt.Errorf("columnar: row has %d values, schema has %d", len(row), len(w.schema))
+	}
+	for i, c := range w.schema {
+		switch c.Type {
+		case TypeString:
+			w.strs[i] = append(w.strs[i], row[i].S)
+		case TypeInt64:
+			w.ints[i] = append(w.ints[i], row[i].I)
+		case TypeBool:
+			w.bools[i] = append(w.bools[i], row[i].B)
+		}
+	}
+	w.rows++
+	if w.rows >= w.groupRows {
+		return w.flushGroup()
+	}
+	return nil
+}
+
+// Close flushes pending rows, writes the end marker and drains buffers.
+func (w *Writer) Close() error {
+	if err := w.flushGroup(); err != nil {
+		return err
+	}
+	if !w.started {
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], 0) // rowCount 0 = EOF
+	if _, err := w.w.Write(tmp[:n]); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+func (w *Writer) writeHeader() error {
+	w.started = true
+	if _, err := w.w.WriteString(magic); err != nil {
+		return err
+	}
+	return writeBytes(w.w, []byte(w.schema.String()))
+}
+
+func (w *Writer) flushGroup() error {
+	if w.rows == 0 {
+		return nil
+	}
+	if !w.started {
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(w.rows))
+	if _, err := w.w.Write(tmp[:n]); err != nil {
+		return err
+	}
+	for i, c := range w.schema {
+		var chunk []byte
+		switch c.Type {
+		case TypeString:
+			chunk = encodeStrings(w.strs[i])
+			w.strs[i] = w.strs[i][:0]
+		case TypeInt64:
+			chunk = encodeInts(w.ints[i])
+			w.ints[i] = w.ints[i][:0]
+		case TypeBool:
+			chunk = encodeBools(w.bools[i])
+			w.bools[i] = w.bools[i][:0]
+		}
+		if err := writeBytes(w.w, chunk); err != nil {
+			return err
+		}
+	}
+	w.rows = 0
+	return nil
+}
+
+func writeBytes(w *bufio.Writer, b []byte) error {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(b)))
+	if _, err := w.Write(tmp[:n]); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// Encodings ------------------------------------------------------------------
+
+// encodeStrings dictionary-encodes: varint dictSize, dict entries
+// (varint len + bytes), then varint indexes.
+func encodeStrings(vals []string) []byte {
+	dict := make(map[string]uint64)
+	var order []string
+	for _, v := range vals {
+		if _, ok := dict[v]; !ok {
+			dict[v] = uint64(len(order))
+			order = append(order, v)
+		}
+	}
+	var out []byte
+	out = binary.AppendUvarint(out, uint64(len(order)))
+	for _, s := range order {
+		out = binary.AppendUvarint(out, uint64(len(s)))
+		out = append(out, s...)
+	}
+	for _, v := range vals {
+		out = binary.AppendUvarint(out, dict[v])
+	}
+	return out
+}
+
+func decodeStrings(b []byte, n int) ([]string, error) {
+	dictLen, b, err := uvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	dict := make([]string, dictLen)
+	for i := range dict {
+		var l uint64
+		if l, b, err = uvarint(b); err != nil {
+			return nil, err
+		}
+		if uint64(len(b)) < l {
+			return nil, io.ErrUnexpectedEOF
+		}
+		dict[i] = string(b[:l])
+		b = b[l:]
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		var idx uint64
+		if idx, b, err = uvarint(b); err != nil {
+			return nil, err
+		}
+		if idx >= dictLen {
+			return nil, errors.New("columnar: dictionary index out of range")
+		}
+		out[i] = dict[idx]
+	}
+	return out, nil
+}
+
+// encodeInts zigzag-varint encodes deltas between consecutive values.
+func encodeInts(vals []int64) []byte {
+	var out []byte
+	prev := int64(0)
+	for _, v := range vals {
+		out = binary.AppendVarint(out, v-prev)
+		prev = v
+	}
+	return out
+}
+
+func decodeInts(b []byte, n int) ([]int64, error) {
+	out := make([]int64, n)
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		d, rest, err := varint(b)
+		if err != nil {
+			return nil, err
+		}
+		b = rest
+		prev += d
+		out[i] = prev
+	}
+	return out, nil
+}
+
+// encodeBools run-length encodes: pairs of (varint runLen, value byte).
+func encodeBools(vals []bool) []byte {
+	var out []byte
+	i := 0
+	for i < len(vals) {
+		j := i
+		for j < len(vals) && vals[j] == vals[i] {
+			j++
+		}
+		out = binary.AppendUvarint(out, uint64(j-i))
+		if vals[i] {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+		i = j
+	}
+	return out
+}
+
+func decodeBools(b []byte, n int) ([]bool, error) {
+	out := make([]bool, 0, n)
+	for len(out) < n {
+		run, rest, err := uvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		b = rest
+		if len(b) == 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		v := b[0] == 1
+		b = b[1:]
+		if run == 0 || uint64(n-len(out)) < run {
+			return nil, errors.New("columnar: bad bool run length")
+		}
+		for k := uint64(0); k < run; k++ {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+func uvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, io.ErrUnexpectedEOF
+	}
+	return v, b[n:], nil
+}
+
+func varint(b []byte) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, io.ErrUnexpectedEOF
+	}
+	return v, b[n:], nil
+}
+
+// Reader --------------------------------------------------------------------
+
+// RowGroup is a decoded batch of rows.
+type RowGroup struct {
+	Schema Schema
+	Rows   int
+	Strs   map[string][]string
+	Ints   map[string][]int64
+	Bools  map[string][]bool
+}
+
+// Reader streams row groups from a columnar file.
+type Reader struct {
+	r      *bufio.Reader
+	schema Schema
+}
+
+// NewReader validates the header and returns a reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("columnar: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, errors.New("columnar: bad magic")
+	}
+	sb, err := readBytes(br)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := ParseSchema(string(sb))
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{r: br, schema: schema}, nil
+}
+
+// Schema returns the file schema.
+func (r *Reader) Schema() Schema { return r.schema }
+
+// Next returns the next row group, or io.EOF after the last one.
+func (r *Reader) Next() (*RowGroup, error) {
+	n, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return nil, fmt.Errorf("columnar: reading row count: %w", err)
+	}
+	if n == 0 {
+		return nil, io.EOF
+	}
+	g := &RowGroup{
+		Schema: r.schema, Rows: int(n),
+		Strs: make(map[string][]string), Ints: make(map[string][]int64), Bools: make(map[string][]bool),
+	}
+	for _, c := range r.schema {
+		chunk, err := readBytes(r.r)
+		if err != nil {
+			return nil, err
+		}
+		switch c.Type {
+		case TypeString:
+			if g.Strs[c.Name], err = decodeStrings(chunk, g.Rows); err != nil {
+				return nil, err
+			}
+		case TypeInt64:
+			if g.Ints[c.Name], err = decodeInts(chunk, g.Rows); err != nil {
+				return nil, err
+			}
+		case TypeBool:
+			if g.Bools[c.Name], err = decodeBools(chunk, g.Rows); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+func readBytes(r *bufio.Reader) ([]byte, error) {
+	l, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, l)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

@@ -1,0 +1,294 @@
+package columnar
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func measurementSchema() Schema {
+	return Schema{
+		{Name: "domain", Type: TypeString},
+		{Name: "ts", Type: TypeInt64},
+		{Name: "alive", Type: TypeBool},
+	}
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	s := measurementSchema()
+	got, err := ParseSchema(s.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Errorf("schema round trip: %v vs %v", got, s)
+	}
+	if s.Index("ts") != 1 || s.Index("missing") != -1 {
+		t.Error("Index")
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	for _, bad := range []string{"", "noType", ":string", "x:floats"} {
+		if _, err := ParseSchema(bad); err == nil {
+			t.Errorf("ParseSchema(%q) should fail", bad)
+		}
+	}
+}
+
+func TestWriteReadSingleGroup(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, measurementSchema(), 0)
+	rows := []struct {
+		d  string
+		ts int64
+		a  bool
+	}{
+		{"example.com", 1700000000, true},
+		{"example.com", 1700000600, true},
+		{"dead.shop", 1700000000, false},
+	}
+	for _, r := range rows {
+		if err := w.Append(String(r.d), Int(r.ts), Bool(r.a)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rows != 3 {
+		t.Fatalf("rows = %d", g.Rows)
+	}
+	if !reflect.DeepEqual(g.Strs["domain"], []string{"example.com", "example.com", "dead.shop"}) {
+		t.Errorf("domains: %v", g.Strs["domain"])
+	}
+	if !reflect.DeepEqual(g.Ints["ts"], []int64{1700000000, 1700000600, 1700000000}) {
+		t.Errorf("ts: %v", g.Ints["ts"])
+	}
+	if !reflect.DeepEqual(g.Bools["alive"], []bool{true, true, false}) {
+		t.Errorf("alive: %v", g.Bools["alive"])
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("want io.EOF, got %v", err)
+	}
+}
+
+func TestMultipleRowGroups(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, measurementSchema(), 10)
+	for i := 0; i < 35; i++ {
+		if err := w.Append(String(fmt.Sprintf("d%d.com", i%7)), Int(int64(i)), Bool(i%2 == 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var groups, total int
+	for {
+		g, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups++
+		total += g.Rows
+	}
+	if groups != 4 || total != 35 {
+		t.Errorf("groups=%d total=%d, want 4/35", groups, total)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, measurementSchema(), 0)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("want io.EOF, got %v", err)
+	}
+}
+
+func TestAppendArityMismatch(t *testing.T) {
+	w := NewWriter(io.Discard, measurementSchema(), 0)
+	if err := w.Append(String("x")); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTCOL\n"))); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestTruncatedFile(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, measurementSchema(), 0)
+	for i := 0; i < 100; i++ {
+		w.Append(String("x.com"), Int(int64(i)), Bool(true))
+	}
+	w.Close()
+	full := buf.Bytes()
+	for _, cut := range []int{len(magic) + 2, len(full) / 2, len(full) - 2} {
+		r, err := NewReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			continue // header truncation is fine too
+		}
+		for {
+			_, err = r.Next()
+			if err != nil {
+				break
+			}
+		}
+		if err == io.EOF {
+			t.Errorf("cut at %d: clean EOF on truncated file", cut)
+		}
+	}
+}
+
+func TestDictionaryCompression(t *testing.T) {
+	// Highly repetitive strings (NS hostnames) should compress far below
+	// the raw size.
+	var buf bytes.Buffer
+	schema := Schema{{Name: "ns", Type: TypeString}}
+	w := NewWriter(&buf, schema, 0)
+	raw := 0
+	for i := 0; i < 10_000; i++ {
+		s := fmt.Sprintf("ns%d.cloudflare.com", i%4)
+		raw += len(s)
+		w.Append(String(s))
+	}
+	w.Close()
+	if buf.Len() > raw/5 {
+		t.Errorf("encoded %d bytes for %d raw; dictionary ineffective", buf.Len(), raw)
+	}
+}
+
+func TestDeltaEncodingOfTimestamps(t *testing.T) {
+	// Monotone timestamps (the common case) should use ~1-2 bytes/row.
+	var buf bytes.Buffer
+	schema := Schema{{Name: "ts", Type: TypeInt64}}
+	w := NewWriter(&buf, schema, 0)
+	ts := int64(1_700_000_000)
+	for i := 0; i < 10_000; i++ {
+		ts += 600
+		w.Append(Int(ts))
+	}
+	w.Close()
+	if buf.Len() > 3*10_000 {
+		t.Errorf("encoded %d bytes for 10k timestamps", buf.Len())
+	}
+}
+
+func TestPropertyRoundTripRandomRows(t *testing.T) {
+	f := func(seed int64, nRows uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRows)
+		var buf bytes.Buffer
+		w := NewWriter(&buf, measurementSchema(), 7) // small groups to cross boundaries
+		type row struct {
+			s string
+			i int64
+			b bool
+		}
+		rows := make([]row, n)
+		for i := range rows {
+			rows[i] = row{
+				s: fmt.Sprintf("d%d.com", rng.Intn(10)),
+				i: rng.Int63n(1<<40) - (1 << 39),
+				b: rng.Intn(2) == 0,
+			}
+			if err := w.Append(String(rows[i].s), Int(rows[i].i), Bool(rows[i].b)); err != nil {
+				return false
+			}
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		var got []row
+		for {
+			g, err := r.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return false
+			}
+			for i := 0; i < g.Rows; i++ {
+				got = append(got, row{g.Strs["domain"][i], g.Ints["ts"][i], g.Bools["alive"][i]})
+			}
+		}
+		return reflect.DeepEqual(got, rows) || (len(got) == 0 && n == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWrite(b *testing.B) {
+	schema := measurementSchema()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(io.Discard, schema, 0)
+		for j := 0; j < 1000; j++ {
+			w.Append(String("example.com"), Int(int64(j)), Bool(true))
+		}
+		w.Close()
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, measurementSchema(), 0)
+	for j := 0; j < 10_000; j++ {
+		w.Append(String(fmt.Sprintf("d%d.com", j%50)), Int(int64(j)), Bool(j%3 == 0))
+	}
+	w.Close()
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, err := r.Next(); err != nil {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package core_test
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"darkdns/internal/certstream"
+	"darkdns/internal/core"
+	"darkdns/internal/ct"
+	"darkdns/internal/czds"
+	"darkdns/internal/psl"
+	"darkdns/internal/rdap"
+	"darkdns/internal/registry"
+	"darkdns/internal/simclock"
+)
+
+var t0 = time.Date(2023, 11, 1, 0, 0, 0, 0, time.UTC)
+
+// TestPipelineWithHTTPRDAP runs step 2 over a real HTTP RDAP service
+// backed by a simulated registry — the same wire path a production
+// deployment of the pipeline would use.
+func TestPipelineWithHTTPRDAP(t *testing.T) {
+	clk := simclock.NewSim(t0)
+	reg := registry.New(registry.DefaultConfig("com"), clk, rand.New(rand.NewSource(1)))
+	defer reg.Stop()
+
+	// RDAP service over HTTP, with a backend adapter onto the registry.
+	mux := rdap.NewMux()
+	mux.Handle("com", rdap.BackendFunc(func(name string) (*rdap.Record, error) {
+		r, err := reg.RDAPLookup(name)
+		if err != nil {
+			return nil, rdap.ErrNotFound
+		}
+		return &rdap.Record{Domain: r.Domain, Registrar: r.Registrar, Registered: r.Created}, nil
+	}))
+	srv := rdap.NewServer(mux, nil)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cfg := core.DefaultConfig(t0, t0.Add(30*24*time.Hour))
+	cfg.RDAPFailureRate = 0
+	cfg.RDAPDelay = nil
+	p := core.New(cfg, clk, psl.Default(), czds.New(),
+		rdap.NewClient("http://"+addr.String(), "worker-1"), nil, nil, 1)
+
+	// Register a domain, let it enter the zone and sync to RDAP, then
+	// deliver its certificate event.
+	reg.Register("wire-rdap.com", "NameCheap", []string{"ns1.cloudflare.com"}, netip.Addr{})
+	clk.Advance(3 * time.Minute)
+	p.HandleEvent(certstream.Event{
+		Seen: clk.Now(), Log: "argon",
+		Entry: ct.Entry{Kind: ct.PreCertificate, Issuer: "LE", CN: "www.wire-rdap.com"},
+	})
+	clk.Advance(time.Minute) // fire the RDAP collection callback
+
+	c, ok := p.Candidate("wire-rdap.com")
+	if !ok {
+		t.Fatal("candidate missing")
+	}
+	if c.RDAPOutcome != core.RDAPOK {
+		t.Fatalf("RDAP over HTTP: %v", c.RDAPOutcome)
+	}
+	if c.Registrar != "NameCheap" || !c.Registered.Equal(t0) {
+		t.Errorf("record: registrar=%q registered=%v", c.Registrar, c.Registered)
+	}
+	if !c.Validated {
+		t.Error("candidate should validate (CT seen 3m after registration)")
+	}
+}
+
+// TestPipelineHTTPRDAPRateLimited exercises the paper's failure mode: a
+// rate-limited RDAP server yields RDAPError outcomes that are never
+// retried.
+func TestPipelineHTTPRDAPRateLimited(t *testing.T) {
+	clk := simclock.NewSim(t0)
+	mux := rdap.NewMux()
+	mux.Handle("com", rdap.BackendFunc(func(name string) (*rdap.Record, error) {
+		return &rdap.Record{Domain: name, Registrar: "X", Registered: t0}, nil
+	}))
+	// A limiter that refuses everything after the first request.
+	limiter := rdap.NewRateLimiter(0.000001, 1, time.Now)
+	srv := rdap.NewServer(mux, limiter)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cfg := core.DefaultConfig(t0, t0.Add(time.Hour))
+	cfg.RDAPFailureRate = 0
+	cfg.RDAPDelay = nil
+	p := core.New(cfg, clk, psl.Default(), czds.New(),
+		rdap.NewClient("http://"+addr.String(), "worker-1"), nil, nil, 1)
+
+	for i, d := range []string{"first.com", "second.com"} {
+		p.HandleEvent(certstream.Event{
+			Seen:  clk.Now().Add(time.Duration(i) * time.Second),
+			Log:   "argon",
+			Entry: ct.Entry{Kind: ct.PreCertificate, CN: d},
+		})
+	}
+	clk.Advance(time.Minute)
+
+	first, _ := p.Candidate("first.com")
+	second, _ := p.Candidate("second.com")
+	if first.RDAPOutcome != core.RDAPOK {
+		t.Errorf("first: %v", first.RDAPOutcome)
+	}
+	if second.RDAPOutcome != core.RDAPError {
+		t.Errorf("second should be rate-limited: %v", second.RDAPOutcome)
+	}
+}

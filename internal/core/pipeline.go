@@ -1,0 +1,402 @@
+// Package core implements the DarkDNS methodology (paper §3): a five-step
+// pipeline that turns public observables — certificate transparency
+// events, CZDS zone snapshots, RDAP lookups and reactive DNS measurements
+// — into a feed of newly registered domains and a lower-bound inventory
+// of transient domains.
+//
+// Step 1: consume Certstream precertificate events, extract registered
+// domains via the Public Suffix List, and keep those absent from the
+// latest CZDS snapshots.
+// Step 2: collect RDAP registration data (one attempt, never retried).
+// Step 3: reactively probe each candidate (A/AAAA/NS every 10 minutes for
+// 48 hours; NS directly at the TLD's authoritative servers).
+// Step 4: validate the CT detection time against the RDAP-reported
+// registration time (within 24 hours).
+// Step 5: after the window closes, label as transient every candidate
+// that never appeared in any zone snapshot (±3 days slack).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"darkdns/internal/certstream"
+	"darkdns/internal/czds"
+	"darkdns/internal/dnsname"
+	"darkdns/internal/measure"
+	"darkdns/internal/psl"
+	"darkdns/internal/rdap"
+	"darkdns/internal/simclock"
+	"darkdns/internal/stream"
+)
+
+// Config parameterizes the pipeline.
+type Config struct {
+	WindowStart time.Time
+	WindowEnd   time.Time
+	// ZoneSlack widens the transient test window to absorb late zone
+	// publication (paper: ±3 days).
+	ZoneSlack time.Duration
+	// ValidationWindow is the maximum |CT seen − RDAP registered| for a
+	// candidate to count as a validated NRD (paper: 24 h).
+	ValidationWindow time.Duration
+	// RDAPDelay samples the queueing delay between detection and the
+	// RDAP query (Azure worker dispatch in the paper).
+	RDAPDelay func(rng *rand.Rand) time.Duration
+	// RDAPFailureRate injects collection errors (rate limiting, worker
+	// failures — the paper's ≈3 %).
+	RDAPFailureRate float64
+	// WatchSampleRate is the fraction of candidates handed to the
+	// measurement fleet. 1.0 is paper-accurate; large-scale simulation
+	// runs may sample (every analysis over fleet data is a proportion).
+	WatchSampleRate float64
+	// FeedTopic is the stream topic name for the public NRD feed.
+	FeedTopic string
+}
+
+// DefaultConfig returns the paper's parameters over [start, end).
+func DefaultConfig(start, end time.Time) Config {
+	return Config{
+		WindowStart:      start,
+		WindowEnd:        end,
+		ZoneSlack:        3 * 24 * time.Hour,
+		ValidationWindow: 24 * time.Hour,
+		RDAPDelay: func(rng *rand.Rand) time.Duration {
+			return time.Duration(rng.Int63n(int64(5 * time.Minute)))
+		},
+		RDAPFailureRate: 0.03,
+		WatchSampleRate: 1.0,
+		FeedTopic:       "nrd-feed",
+	}
+}
+
+// RDAPOutcome classifies step 2's result for a candidate.
+type RDAPOutcome uint8
+
+// RDAP outcomes.
+const (
+	RDAPPending RDAPOutcome = iota
+	RDAPOK
+	RDAPNotFound  // domain gone (too late) or never existed
+	RDAPNotSynced // we were too early
+	RDAPError     // rate limiting / collection failure
+)
+
+// String names the outcome.
+func (o RDAPOutcome) String() string {
+	switch o {
+	case RDAPPending:
+		return "pending"
+	case RDAPOK:
+		return "ok"
+	case RDAPNotFound:
+		return "not-found"
+	case RDAPNotSynced:
+		return "not-synced"
+	case RDAPError:
+		return "error"
+	}
+	return "unknown"
+}
+
+// Candidate is a CT-detected newly registered domain working through the
+// pipeline.
+type Candidate struct {
+	Domain string
+	TLD    string
+	SeenAt time.Time // certstream observation time (the paper's proxy)
+	CTLog  string
+	Issuer string
+
+	RDAPAt      time.Time
+	RDAPOutcome RDAPOutcome
+	Registrar   string
+	Registered  time.Time
+
+	Validated bool // |SeenAt − Registered| ≤ ValidationWindow
+	Watched   bool // handed to the measurement fleet
+}
+
+// DetectionDelay is SeenAt − Registered for validated candidates.
+func (c *Candidate) DetectionDelay() time.Duration { return c.SeenAt.Sub(c.Registered) }
+
+// Pipeline is the DarkDNS measurement pipeline.
+type Pipeline struct {
+	cfg   Config
+	clk   simclock.Clock
+	psl   *psl.List
+	zones *czds.Service
+	rdapQ rdap.Querier
+	fleet *measure.Fleet
+	rng   *rand.Rand
+
+	feed *stream.Topic
+
+	mu         sync.Mutex
+	candidates map[string]*Candidate
+	unsub      func()
+}
+
+// New assembles a pipeline. bus may be nil when no feed publication is
+// wanted; fleet may be nil to skip step 3.
+func New(cfg Config, clk simclock.Clock, pslList *psl.List, zones *czds.Service,
+	rdapQ rdap.Querier, fleet *measure.Fleet, bus *stream.Bus, seed int64) *Pipeline {
+	if cfg.ValidationWindow <= 0 {
+		cfg.ValidationWindow = 24 * time.Hour
+	}
+	if cfg.ZoneSlack <= 0 {
+		cfg.ZoneSlack = 3 * 24 * time.Hour
+	}
+	if cfg.WatchSampleRate <= 0 {
+		cfg.WatchSampleRate = 1.0
+	}
+	if cfg.FeedTopic == "" {
+		cfg.FeedTopic = "nrd-feed"
+	}
+	p := &Pipeline{
+		cfg: cfg, clk: clk, psl: pslList, zones: zones, rdapQ: rdapQ,
+		fleet: fleet, rng: rand.New(rand.NewSource(seed)),
+		candidates: make(map[string]*Candidate),
+	}
+	if bus != nil {
+		p.feed = bus.Topic(cfg.FeedTopic)
+	}
+	return p
+}
+
+// Start subscribes the pipeline to the certstream hub. Call Stop to
+// detach.
+func (p *Pipeline) Start(hub *certstream.Hub) {
+	p.unsub = hub.Subscribe(p.HandleEvent)
+}
+
+// Stop detaches from the hub.
+func (p *Pipeline) Stop() {
+	if p.unsub != nil {
+		p.unsub()
+		p.unsub = nil
+	}
+}
+
+// HandleEvent processes one certstream event (step 1). Exported so tests
+// and replay tools can feed events directly.
+func (p *Pipeline) HandleEvent(ev certstream.Event) {
+	for _, name := range ev.Entry.Names() {
+		domain, ok := p.psl.RegisteredDomain(name)
+		if !ok {
+			continue
+		}
+		if dnsname.Check(domain) != nil {
+			continue
+		}
+		p.consider(domain, ev)
+	}
+}
+
+// consider applies the not-in-latest-snapshot filter and admits a new
+// candidate.
+func (p *Pipeline) consider(domain string, ev certstream.Event) {
+	p.mu.Lock()
+	if _, dup := p.candidates[domain]; dup {
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+
+	if p.zones.InLatest(domain) {
+		return // already visible in zone files: not newly registered
+	}
+	cand := &Candidate{
+		Domain: domain,
+		TLD:    dnsname.TLD(domain),
+		SeenAt: ev.Seen,
+		CTLog:  ev.Log,
+		Issuer: ev.Entry.Issuer,
+	}
+	p.mu.Lock()
+	if _, dup := p.candidates[domain]; dup {
+		p.mu.Unlock()
+		return
+	}
+	p.candidates[domain] = cand
+	p.mu.Unlock()
+
+	if p.feed != nil {
+		p.feed.Publish(ev.Seen, domain, []byte(fmt.Sprintf(`{"domain":%q,"seen":%q,"log":%q}`,
+			domain, ev.Seen.UTC().Format(time.RFC3339), ev.Log)))
+	}
+
+	// Step 2: RDAP after worker-queue delay, one attempt only.
+	delay := time.Duration(0)
+	if p.cfg.RDAPDelay != nil {
+		delay = p.cfg.RDAPDelay(p.rng)
+	}
+	fail := p.rng.Float64() < p.cfg.RDAPFailureRate
+	p.clk.After(delay, func() { p.collectRDAP(cand, fail) })
+
+	// Step 3: reactive measurements.
+	if p.fleet != nil && p.rng.Float64() < p.cfg.WatchSampleRate {
+		cand.Watched = true
+		p.fleet.Watch(domain)
+	}
+}
+
+// collectRDAP performs step 2 and the step 4 validation.
+func (p *Pipeline) collectRDAP(cand *Candidate, injectedFailure bool) {
+	now := p.clk.Now()
+	p.mu.Lock()
+	cand.RDAPAt = now
+	p.mu.Unlock()
+	if injectedFailure {
+		p.setRDAP(cand, RDAPError, nil)
+		return
+	}
+	rec, err := p.rdapQ.Domain(context.Background(), cand.Domain)
+	switch {
+	case err == nil:
+		p.setRDAP(cand, RDAPOK, rec)
+	case errors.Is(err, rdap.ErrNotFound):
+		p.setRDAP(cand, RDAPNotFound, nil)
+	case errors.Is(err, rdap.ErrNotSynced):
+		p.setRDAP(cand, RDAPNotSynced, nil)
+	default:
+		p.setRDAP(cand, RDAPError, nil)
+	}
+}
+
+func (p *Pipeline) setRDAP(cand *Candidate, outcome RDAPOutcome, rec *rdap.Record) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cand.RDAPOutcome = outcome
+	if rec != nil {
+		cand.Registrar = rec.Registrar
+		cand.Registered = rec.Registered
+		delta := cand.SeenAt.Sub(rec.Registered)
+		if delta < 0 {
+			delta = -delta
+		}
+		cand.Validated = delta <= p.cfg.ValidationWindow
+	}
+}
+
+// Candidates returns copies of all candidates, sorted by domain.
+func (p *Pipeline) Candidates() []Candidate {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Candidate, 0, len(p.candidates))
+	for _, c := range p.candidates {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	return out
+}
+
+// Candidate returns a copy of one candidate.
+func (p *Pipeline) Candidate(domain string) (Candidate, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.candidates[dnsname.Canonical(domain)]
+	if !ok {
+		return Candidate{}, false
+	}
+	return *c, true
+}
+
+// Len returns the number of candidates admitted.
+func (p *Pipeline) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.candidates)
+}
+
+// TransientReport is the step 5 output.
+type TransientReport struct {
+	// All candidates never seen in a snapshot within the slack window —
+	// the paper's lower bound (68,042).
+	LowerBound []Candidate
+	// Confirmed is the RDAP-validated subset (the paper's 42,358).
+	Confirmed []Candidate
+	// RDAPFailed is the subset of LowerBound whose RDAP collection
+	// failed (the paper's ≈34 %): too late, too early, or never existed.
+	RDAPFailed []Candidate
+}
+
+// Transients computes step 5 over the configured window. Candidates in
+// TLDs with no collected zone snapshots are skipped: without zone files
+// the "never appeared in a snapshot" test is vacuous (this is precisely
+// why ccTLD transients need the registry's own zone view, §4.4).
+func (p *Pipeline) Transients() TransientReport {
+	collected := make(map[string]bool)
+	for _, tld := range p.zones.TLDs() {
+		collected[tld] = true
+	}
+	var rep TransientReport
+	for _, c := range p.Candidates() {
+		if !collected[c.TLD] {
+			continue
+		}
+		from := c.SeenAt.Add(-p.cfg.ZoneSlack)
+		to := p.cfg.WindowEnd.Add(p.cfg.ZoneSlack)
+		if p.zones.EverSeen(c.Domain, from, to) {
+			continue // appeared in a snapshot eventually: not transient
+		}
+		rep.LowerBound = append(rep.LowerBound, c)
+		switch c.RDAPOutcome {
+		case RDAPOK:
+			if c.Validated {
+				rep.Confirmed = append(rep.Confirmed, c)
+			}
+		default:
+			rep.RDAPFailed = append(rep.RDAPFailed, c)
+		}
+	}
+	return rep
+}
+
+// Stats summarizes the pipeline's state for operational reporting.
+type Stats struct {
+	Candidates int
+	ByOutcome  map[RDAPOutcome]int
+	Validated  int
+	Watched    int
+}
+
+// Summary computes current pipeline statistics.
+func (p *Pipeline) Summary() Stats {
+	s := Stats{ByOutcome: make(map[RDAPOutcome]int)}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.candidates {
+		s.Candidates++
+		s.ByOutcome[c.RDAPOutcome]++
+		if c.Validated {
+			s.Validated++
+		}
+		if c.Watched {
+			s.Watched++
+		}
+	}
+	return s
+}
+
+// ZoneNRDCoverage computes the Table 1 comparison: of the domains that
+// appeared as additions in day-over-day zone diffs, which fraction did the
+// pipeline detect first via CT? The czds first-seen index supplies the
+// zone side.
+func (p *Pipeline) ZoneNRDCoverage(tld string) (detectedInZone, zoneNRDs int64) {
+	zoneNRDs = p.zones.Stats(tld).Added
+	for _, c := range p.Candidates() {
+		if c.TLD != tld {
+			continue
+		}
+		if first, ok := p.zones.FirstSeen(c.Domain); ok && first.After(c.SeenAt) {
+			detectedInZone++
+		}
+	}
+	return detectedInZone, zoneNRDs
+}

@@ -1,0 +1,20 @@
+package core
+
+import (
+	"context"
+
+	"darkdns/internal/rdap"
+)
+
+// MuxQuerier adapts an in-process rdap.Mux (the simulated per-TLD RDAP
+// services) to the pipeline's Querier interface. Network deployments use
+// rdap.Client instead; both honour the no-retry policy because retrying
+// happens in neither.
+type MuxQuerier struct {
+	Mux *rdap.Mux
+}
+
+// Domain implements rdap.Querier.
+func (q MuxQuerier) Domain(_ context.Context, name string) (*rdap.Record, error) {
+	return q.Mux.RDAPDomain(name)
+}

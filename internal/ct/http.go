@@ -1,0 +1,252 @@
+package ct
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTP API per RFC 6962 §4 (subset): get-sth, get-entries, get-sth-
+// consistency and get-proof-by-hash against a Log. Certstream-style
+// aggregators poll get-entries; the client below implements that loop.
+
+// Server exposes a Log over HTTP.
+type Server struct {
+	log *Log
+	now func() time.Time
+
+	http *http.Server
+	ln   net.Listener
+}
+
+// NewServer wraps log; now supplies STH timestamps (pass the simulation
+// clock's Now, or time.Now).
+func NewServer(log *Log, now func() time.Time) *Server {
+	if now == nil {
+		now = time.Now
+	}
+	s := &Server{log: log, now: now}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ct/v1/get-sth", s.getSTH)
+	mux.HandleFunc("/ct/v1/get-entries", s.getEntries)
+	mux.HandleFunc("/ct/v1/get-sth-consistency", s.getConsistency)
+	s.http = &http.Server{Handler: mux}
+	return s
+}
+
+// Serve listens on addr and returns the bound address.
+func (s *Server) Serve(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	go s.http.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	if s.ln == nil {
+		return nil
+	}
+	return s.http.Close()
+}
+
+// sthResponse is the RFC 6962 §4.3 body.
+type sthResponse struct {
+	TreeSize          int64  `json:"tree_size"`
+	Timestamp         int64  `json:"timestamp"` // ms since epoch
+	SHA256RootHash    string `json:"sha256_root_hash"`
+	TreeHeadSignature string `json:"tree_head_signature"`
+}
+
+func (s *Server) getSTH(w http.ResponseWriter, _ *http.Request) {
+	sth, err := s.log.STH(s.now())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, sthResponse{
+		TreeSize:          sth.TreeSize,
+		Timestamp:         sth.Timestamp.UnixMilli(),
+		SHA256RootHash:    base64.StdEncoding.EncodeToString(sth.Root[:]),
+		TreeHeadSignature: base64.StdEncoding.EncodeToString(sth.Signature[:]),
+	})
+}
+
+// entriesResponse carries decoded entries directly (the simulator's
+// equivalent of leaf_input blobs).
+type entriesResponse struct {
+	Entries []Entry `json:"entries"`
+}
+
+func (s *Server) getEntries(w http.ResponseWriter, r *http.Request) {
+	start, err1 := strconv.ParseInt(r.URL.Query().Get("start"), 10, 64)
+	end, err2 := strconv.ParseInt(r.URL.Query().Get("end"), 10, 64)
+	if err1 != nil || err2 != nil || start < 0 || end < start {
+		http.Error(w, "bad start/end", http.StatusBadRequest)
+		return
+	}
+	// RFC 6962 allows servers to cap ranges; cap at 256 like real logs.
+	if end-start >= 256 {
+		end = start + 255
+	}
+	size := s.log.Size()
+	if start >= size {
+		writeJSON(w, entriesResponse{})
+		return
+	}
+	if end >= size {
+		end = size - 1
+	}
+	entries, err := s.log.Range(start, end+1)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, entriesResponse{Entries: entries})
+}
+
+type consistencyResponse struct {
+	Consistency []string `json:"consistency"`
+}
+
+func (s *Server) getConsistency(w http.ResponseWriter, r *http.Request) {
+	first, err1 := strconv.ParseInt(r.URL.Query().Get("first"), 10, 64)
+	second, err2 := strconv.ParseInt(r.URL.Query().Get("second"), 10, 64)
+	if err1 != nil || err2 != nil {
+		http.Error(w, "bad first/second", http.StatusBadRequest)
+		return
+	}
+	proof, err := s.log.ConsistencyProof(first, second)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := consistencyResponse{}
+	for _, h := range proof.Path {
+		resp.Consistency = append(resp.Consistency, base64.StdEncoding.EncodeToString(h[:]))
+	}
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// Client consumes a log's HTTP API.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient creates a client for the log at base URL.
+func NewClient(base string) *Client {
+	return &Client{base: base, http: &http.Client{Timeout: 10 * time.Second}}
+}
+
+// ErrHTTP wraps non-200 responses.
+var ErrHTTP = errors.New("ct: http error")
+
+// GetSTH fetches the current tree head.
+func (c *Client) GetSTH(ctx context.Context) (SignedTreeHead, error) {
+	var body sthResponse
+	if err := c.get(ctx, "/ct/v1/get-sth", &body); err != nil {
+		return SignedTreeHead{}, err
+	}
+	sth := SignedTreeHead{
+		TreeSize:  body.TreeSize,
+		Timestamp: time.UnixMilli(body.Timestamp).UTC(),
+	}
+	root, err := base64.StdEncoding.DecodeString(body.SHA256RootHash)
+	if err != nil || len(root) != len(sth.Root) {
+		return SignedTreeHead{}, fmt.Errorf("%w: bad root hash", ErrHTTP)
+	}
+	copy(sth.Root[:], root)
+	sig, err := base64.StdEncoding.DecodeString(body.TreeHeadSignature)
+	if err != nil || len(sig) != len(sth.Signature) {
+		return SignedTreeHead{}, fmt.Errorf("%w: bad signature", ErrHTTP)
+	}
+	copy(sth.Signature[:], sig)
+	return sth, nil
+}
+
+// GetEntries fetches entries [start, end] (inclusive, server-capped).
+func (c *Client) GetEntries(ctx context.Context, start, end int64) ([]Entry, error) {
+	var body entriesResponse
+	path := fmt.Sprintf("/ct/v1/get-entries?start=%d&end=%d", start, end)
+	if err := c.get(ctx, path, &body); err != nil {
+		return nil, err
+	}
+	return body.Entries, nil
+}
+
+// GetConsistency fetches and decodes a consistency proof.
+func (c *Client) GetConsistency(ctx context.Context, first, second int64) (ConsistencyProof, error) {
+	var body consistencyResponse
+	path := fmt.Sprintf("/ct/v1/get-sth-consistency?first=%d&second=%d", first, second)
+	if err := c.get(ctx, path, &body); err != nil {
+		return ConsistencyProof{}, err
+	}
+	proof := ConsistencyProof{First: first, Second: second}
+	for _, s := range body.Consistency {
+		raw, err := base64.StdEncoding.DecodeString(s)
+		if err != nil || len(raw) != 32 {
+			return ConsistencyProof{}, fmt.Errorf("%w: bad proof node", ErrHTTP)
+		}
+		var h Hash
+		copy(h[:], raw)
+		proof.Path = append(proof.Path, h)
+	}
+	return proof, nil
+}
+
+// Tail polls get-entries from index start, delivering each entry to fn,
+// until ctx is done. It returns the next unread index.
+func (c *Client) Tail(ctx context.Context, start int64, pollEvery time.Duration, fn func(Entry)) (int64, error) {
+	next := start
+	for {
+		entries, err := c.GetEntries(ctx, next, next+255)
+		if err != nil {
+			if ctx.Err() != nil {
+				return next, ctx.Err()
+			}
+			return next, err
+		}
+		for _, e := range entries {
+			fn(e)
+			next = e.Index + 1
+		}
+		if len(entries) == 0 {
+			select {
+			case <-ctx.Done():
+				return next, ctx.Err()
+			case <-time.After(pollEvery):
+			}
+		}
+	}
+}
+
+func (c *Client) get(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%w: %s on %s", ErrHTTP, resp.Status, path)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,0 +1,58 @@
+package czds
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"darkdns/internal/zoneset"
+)
+
+// TestPropertyEverSeenMatchesBruteForce compares the interval-index
+// implementation of EverSeen against a brute-force scan over retained
+// snapshot contents, under random continuous-presence histories (the
+// index assumes presence intervals, which registry-driven snapshots
+// satisfy by construction).
+func TestPropertyEverSeenMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		svc := New()
+
+		const days = 20
+		type window struct{ from, to int } // inclusive day range in zone
+		truth := make(map[string]window)
+		var domains []string
+		for i := 0; i < 30; i++ {
+			d := fmt.Sprintf("d%02d-%d.com", i, seed)
+			from := rng.Intn(days)
+			to := from + rng.Intn(days-from)
+			truth[d] = window{from, to}
+			domains = append(domains, d)
+		}
+		day := func(i int) time.Time { return t0.Add(time.Duration(i) * 24 * time.Hour) }
+		for i := 0; i < days; i++ {
+			snap := zoneset.NewSnapshot("com", uint32(i+1), day(i))
+			for d, w := range truth {
+				if i >= w.from && i <= w.to {
+					snap.Add(d, []string{"ns1.x.net"})
+				}
+			}
+			svc.Ingest(snap)
+		}
+
+		for _, d := range domains {
+			w := truth[d]
+			for trial := 0; trial < 20; trial++ {
+				qf := rng.Intn(days)
+				qt := qf + rng.Intn(days-qf)
+				got := svc.EverSeen(d, day(qf), day(qt))
+				want := w.from <= qt && w.to >= qf
+				if got != want {
+					t.Fatalf("seed %d: EverSeen(%s, day%d..day%d) = %v, presence day%d..day%d",
+						seed, d, qf, qt, got, w.from, w.to)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package dnsmsg
+
+import (
+	"errors"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mustAddr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func sampleMessage() *Message {
+	q := NewQuery(0x1234, "WWW.Example.COM", TypeA)
+	r := q.Reply()
+	r.Header.Authoritative = true
+	r.Answers = []Record{
+		{Name: "www.example.com", Type: TypeA, Class: ClassIN, TTL: 300, A: mustAddr("192.0.2.1")},
+		{Name: "www.example.com", Type: TypeA, Class: ClassIN, TTL: 300, A: mustAddr("192.0.2.2")},
+	}
+	r.Authority = []Record{
+		{Name: "example.com", Type: TypeNS, Class: ClassIN, TTL: 86400, NS: "ns1.cloudflare.com"},
+		{Name: "example.com", Type: TypeNS, Class: ClassIN, TTL: 86400, NS: "ns2.cloudflare.com"},
+	}
+	r.Additional = []Record{
+		{Name: "ns1.cloudflare.com", Type: TypeAAAA, Class: ClassIN, TTL: 60, AAAA: mustAddr("2001:db8::1")},
+	}
+	return r
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	m := sampleMessage()
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Header, m.Header) {
+		t.Errorf("header: got %+v want %+v", got.Header, m.Header)
+	}
+	if len(got.Questions) != 1 || got.Questions[0].Name != "www.example.com" {
+		t.Errorf("questions: %+v", got.Questions)
+	}
+	if !reflect.DeepEqual(got.Answers, m.Answers) {
+		t.Errorf("answers: got %+v want %+v", got.Answers, m.Answers)
+	}
+	if !reflect.DeepEqual(got.Authority, m.Authority) {
+		t.Errorf("authority: got %+v want %+v", got.Authority, m.Authority)
+	}
+	if !reflect.DeepEqual(got.Additional, m.Additional) {
+		t.Errorf("additional: got %+v want %+v", got.Additional, m.Additional)
+	}
+}
+
+func TestCompressionShrinksMessage(t *testing.T) {
+	m := sampleMessage()
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rough bound: repeated example.com/cloudflare.com suffixes must share
+	// bytes. An uncompressed encoding would exceed 190 bytes.
+	if len(wire) >= 190 {
+		t.Errorf("message is %d bytes; compression appears ineffective", len(wire))
+	}
+}
+
+func TestSOARoundTrip(t *testing.T) {
+	m := &Message{
+		Header: Header{ID: 9, Response: true},
+		Answers: []Record{{
+			Name: "com", Type: TypeSOA, Class: ClassIN, TTL: 900,
+			SOA: SOAData{
+				MName: "a.gtld-servers.net", RName: "nstld.verisign-grs.com",
+				Serial: 1700000001, Refresh: 1800, Retry: 900, Expire: 604800, Minimum: 86400,
+			},
+		}},
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Answers[0].SOA, m.Answers[0].SOA) {
+		t.Errorf("SOA: got %+v want %+v", got.Answers[0].SOA, m.Answers[0].SOA)
+	}
+}
+
+func TestTXTAndMXRoundTrip(t *testing.T) {
+	m := &Message{
+		Answers: []Record{
+			{Name: "example.com", Type: TypeTXT, Class: ClassIN, TTL: 60, TXT: []string{"v=spf1 -all", "second string"}},
+			{Name: "example.com", Type: TypeMX, Class: ClassIN, TTL: 60, MX: MXData{Preference: 10, Exchange: "mail.example.com"}},
+		},
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Answers, m.Answers) {
+		t.Errorf("got %+v want %+v", got.Answers, m.Answers)
+	}
+}
+
+func TestCNAMERoundTrip(t *testing.T) {
+	m := &Message{Answers: []Record{{Name: "www.example.com", Type: TypeCNAME, Class: ClassIN, TTL: 60, CNAME: "example.com"}}}
+	wire, _ := m.Pack()
+	got, err := Unpack(wire)
+	if err != nil || got.Answers[0].CNAME != "example.com" {
+		t.Fatalf("CNAME round trip: %+v, %v", got, err)
+	}
+}
+
+func TestUnknownTypePreservedAsRaw(t *testing.T) {
+	m := &Message{Answers: []Record{{Name: "example.com", Type: Type(99), Class: ClassIN, TTL: 1, Raw: []byte{1, 2, 3}}}}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Answers[0].Raw, []byte{1, 2, 3}) {
+		t.Errorf("raw: %v", got.Answers[0].Raw)
+	}
+}
+
+func TestPackRejectsBadAddressFamilies(t *testing.T) {
+	m := &Message{Answers: []Record{{Name: "x.com", Type: TypeA, Class: ClassIN, A: mustAddr("2001:db8::1")}}}
+	if _, err := m.Pack(); err == nil {
+		t.Error("A record with IPv6 address should fail")
+	}
+	m = &Message{Answers: []Record{{Name: "x.com", Type: TypeAAAA, Class: ClassIN, AAAA: mustAddr("192.0.2.1")}}}
+	if _, err := m.Pack(); err == nil {
+		t.Error("AAAA record with IPv4 address should fail")
+	}
+}
+
+func TestUnpackTruncated(t *testing.T) {
+	m := sampleMessage()
+	wire, _ := m.Pack()
+	for _, cut := range []int{0, 5, 11, 13, len(wire) / 2, len(wire) - 1} {
+		if _, err := Unpack(wire[:cut]); err == nil {
+			t.Errorf("Unpack of %d-byte prefix succeeded, want error", cut)
+		}
+	}
+}
+
+func TestUnpackErrorsAreTyped(t *testing.T) {
+	if _, err := Unpack(nil); !errors.Is(err, ErrTruncatedMsg) {
+		t.Errorf("want ErrTruncatedMsg, got %v", err)
+	}
+}
+
+func TestRCodeAndTypeStrings(t *testing.T) {
+	if RCodeNXDomain.String() != "NXDOMAIN" || RCodeNoError.String() != "NOERROR" {
+		t.Error("rcode strings")
+	}
+	if TypeAAAA.String() != "AAAA" || Type(12345).String() != "TYPE12345" {
+		t.Error("type strings")
+	}
+	for _, s := range []string{"A", "NS", "CNAME", "SOA", "MX", "TXT", "AAAA", "OPT", "ANY"} {
+		tp, err := ParseType(s)
+		if err != nil || tp.String() != s {
+			t.Errorf("ParseType(%q) = %v, %v", s, tp, err)
+		}
+	}
+	if _, err := ParseType("NOPE"); err == nil {
+		t.Error("ParseType(NOPE) should fail")
+	}
+}
+
+func TestTargetHelper(t *testing.T) {
+	r := Record{Type: TypeNS, NS: "ns1.example.com"}
+	if r.Target() != "ns1.example.com" {
+		t.Error("NS target")
+	}
+	r = Record{Type: TypeA}
+	if r.Target() != "" {
+		t.Error("A target should be empty")
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{Name: "example.com", Type: TypeA, TTL: 300, A: mustAddr("192.0.2.1")}
+	if got := r.String(); got != "example.com.\t300\tIN\tA\t192.0.2.1" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestReplyMirrorsQuestion(t *testing.T) {
+	q := NewQuery(7, "example.shop", TypeNS)
+	r := q.Reply()
+	if !r.Header.Response || r.Header.ID != 7 || len(r.Questions) != 1 || r.Questions[0].Name != "example.shop" {
+		t.Errorf("Reply: %+v", r)
+	}
+}
+
+func TestPropertyHeaderFlagsRoundTrip(t *testing.T) {
+	f := func(id uint16, resp, aa, tc, rd, ra bool, op, rc uint8) bool {
+		m := &Message{Header: Header{
+			ID: id, Response: resp, Authoritative: aa, Truncated: tc,
+			RecursionDesired: rd, RecursionAvailable: ra,
+			OpCode: op & 0xF, RCode: RCode(rc & 0xF),
+		}}
+		wire, err := m.Pack()
+		if err != nil {
+			return false
+		}
+		got, err := Unpack(wire)
+		if err != nil {
+			return false
+		}
+		return got.Header == m.Header
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyUnpackNeverPanics(t *testing.T) {
+	// Fuzz-ish: arbitrary bytes must never panic, only error.
+	f := func(b []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		Unpack(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPack(b *testing.B) {
+	m := sampleMessage()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Pack(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnpack(b *testing.B) {
+	wire, _ := sampleMessage().Pack()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unpack(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package dnsmsg
+
+import "testing"
+
+func TestSetEDNS0RoundTrip(t *testing.T) {
+	m := NewQuery(1, "example.com", TypeNS)
+	if _, ok := m.EDNSSize(); ok {
+		t.Fatal("fresh query should carry no OPT")
+	}
+	m.SetEDNS0(DefaultEDNSSize)
+	size, ok := m.EDNSSize()
+	if !ok || size != DefaultEDNSSize {
+		t.Fatalf("EDNSSize = %d, %v", size, ok)
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, ok = got.EDNSSize()
+	if !ok || size != DefaultEDNSSize {
+		t.Fatalf("after wire round trip: %d, %v", size, ok)
+	}
+}
+
+func TestSetEDNS0UpdatesInPlace(t *testing.T) {
+	m := NewQuery(1, "example.com", TypeA)
+	m.SetEDNS0(1232)
+	m.SetEDNS0(4096)
+	if len(m.Additional) != 1 {
+		t.Fatalf("OPT duplicated: %d additional records", len(m.Additional))
+	}
+	if size, _ := m.EDNSSize(); size != 4096 {
+		t.Errorf("size = %d", size)
+	}
+}
+
+func TestEDNSSizeClampsTinyAdvertisements(t *testing.T) {
+	m := NewQuery(1, "example.com", TypeA)
+	m.SetEDNS0(100)
+	if size, _ := m.EDNSSize(); size != 512 {
+		t.Errorf("clamp: %d, want 512", size)
+	}
+}

@@ -1,0 +1,295 @@
+package dnsname
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonical(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Example.COM.", "example.com"},
+		{"example.com", "example.com"},
+		{"", ""},
+		{".", ""},
+		{"WWW.EXAMPLE.ORG", "www.example.org"},
+	}
+	for _, c := range cases {
+		if got := Canonical(c.in); got != c.want {
+			t.Errorf("Canonical(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCheckValid(t *testing.T) {
+	valid := []string{
+		"example.com", "a.b.c.d.e", "xn--bcher-kva.example", "1domain.net",
+		"a-b.com", "_dmarc.example.com", "*.example.com", "x.co.",
+		strings.Repeat("a", 63) + ".com", "",
+	}
+	for _, s := range valid {
+		if err := Check(s); err != nil {
+			t.Errorf("Check(%q) = %v, want nil", s, err)
+		}
+	}
+}
+
+func TestCheckInvalid(t *testing.T) {
+	cases := []struct {
+		in   string
+		want error
+	}{
+		{strings.Repeat("a", 64) + ".com", ErrLabelTooLong},
+		{"a..b", ErrEmpty},
+		{"-bad.com", ErrBadHyphen},
+		{"bad-.com", ErrBadHyphen},
+		{"ba d.com", ErrBadChar},
+		{"exa$mple.com", ErrBadChar},
+		{"a_b.com", ErrBadChar},
+		{"**.com", ErrBadChar},
+		{strings.Repeat("a.", 140) + "com", ErrTooLong},
+	}
+	for _, c := range cases {
+		if err := Check(c.in); !errors.Is(err, c.want) {
+			t.Errorf("Check(%q) = %v, want %v", c.in, err, c.want)
+		}
+	}
+}
+
+func TestLabelOps(t *testing.T) {
+	if got := Labels("a.b.c"); len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("Labels = %v", got)
+	}
+	if Labels("") != nil {
+		t.Error("Labels(root) should be nil")
+	}
+	if got := CountLabels("a.b.c"); got != 3 {
+		t.Errorf("CountLabels = %d", got)
+	}
+	if got := CountLabels(""); got != 0 {
+		t.Errorf("CountLabels(root) = %d", got)
+	}
+	if got := TLD("foo.bar.shop"); got != "shop" {
+		t.Errorf("TLD = %q", got)
+	}
+	if got := TLD("com"); got != "com" {
+		t.Errorf("TLD(com) = %q", got)
+	}
+	if got := Parent("a.b.c"); got != "b.c" {
+		t.Errorf("Parent = %q", got)
+	}
+	if got := Parent("com"); got != "" {
+		t.Errorf("Parent(com) = %q", got)
+	}
+	if got := Join("www", "example", "com"); got != "www.example.com" {
+		t.Errorf("Join = %q", got)
+	}
+	if got := Join("", "example", "com"); got != "example.com" {
+		t.Errorf("Join with empty = %q", got)
+	}
+}
+
+func TestIsSubdomain(t *testing.T) {
+	cases := []struct {
+		child, parent string
+		want          bool
+	}{
+		{"a.example.com", "example.com", true},
+		{"example.com", "example.com", true},
+		{"example.com", "com", true},
+		{"badexample.com", "example.com", false},
+		{"example.com", "a.example.com", false},
+		{"anything.at.all", "", true},
+	}
+	for _, c := range cases {
+		if got := IsSubdomain(c.child, c.parent); got != c.want {
+			t.Errorf("IsSubdomain(%q, %q) = %v, want %v", c.child, c.parent, got, c.want)
+		}
+	}
+}
+
+func TestCompareCanonicalOrder(t *testing.T) {
+	// RFC 4034 §6.1 example ordering.
+	sorted := []string{"example", "a.example", "yljkjljk.a.example", "z.a.example", "zabc.a.example", "z.example"}
+	for i := 0; i < len(sorted)-1; i++ {
+		if Compare(sorted[i], sorted[i+1]) >= 0 {
+			t.Errorf("Compare(%q, %q) >= 0, want < 0", sorted[i], sorted[i+1])
+		}
+		if Compare(sorted[i+1], sorted[i]) <= 0 {
+			t.Errorf("Compare(%q, %q) <= 0, want > 0", sorted[i+1], sorted[i])
+		}
+	}
+	if Compare("a.example", "A.EXAMPLE") != 0 {
+		// inputs assumed canonical; canonicalize first
+		if Compare(Canonical("a.example"), Canonical("A.EXAMPLE")) != 0 {
+			t.Error("Compare of equal canonical names != 0")
+		}
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	names := []string{"", "com", "example.com", "www.a-b.example.shop", strings.Repeat("a", 63) + ".x"}
+	for _, n := range names {
+		buf, err := AppendWire(nil, n)
+		if err != nil {
+			t.Fatalf("AppendWire(%q): %v", n, err)
+		}
+		got, next, err := ReadWire(buf, 0)
+		if err != nil {
+			t.Fatalf("ReadWire(%q): %v", n, err)
+		}
+		if got != n || next != len(buf) {
+			t.Errorf("round trip %q → %q (next=%d len=%d)", n, got, next, len(buf))
+		}
+	}
+}
+
+func TestAppendWireErrors(t *testing.T) {
+	if _, err := AppendWire(nil, strings.Repeat("a", 64)+".com"); !errors.Is(err, ErrLabelTooLong) {
+		t.Errorf("want ErrLabelTooLong, got %v", err)
+	}
+	if _, err := AppendWire(nil, strings.Repeat("ab.", 100)+"com"); !errors.Is(err, ErrTooLong) {
+		t.Errorf("want ErrTooLong, got %v", err)
+	}
+}
+
+func TestCompression(t *testing.T) {
+	var c Compressor
+	msg, err := c.Append(nil, "www.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := len(msg)
+	msg, err = c.Append(msg, "mail.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second name should use a pointer: 1+4 bytes label "mail" + 2 pointer.
+	if len(msg)-full != 1+4+2 {
+		t.Errorf("compressed encoding used %d bytes, want 7", len(msg)-full)
+	}
+	n1, next1, err := ReadWire(msg, 0)
+	if err != nil || n1 != "www.example.com" {
+		t.Fatalf("decode first: %q %v", n1, err)
+	}
+	n2, next2, err := ReadWire(msg, next1)
+	if err != nil || n2 != "mail.example.com" {
+		t.Fatalf("decode second: %q %v", n2, err)
+	}
+	if next2 != len(msg) {
+		t.Errorf("next2 = %d, want %d", next2, len(msg))
+	}
+}
+
+func TestCompressionExactRepeat(t *testing.T) {
+	var c Compressor
+	msg, _ := c.Append(nil, "example.com")
+	before := len(msg)
+	msg, _ = c.Append(msg, "example.com")
+	if len(msg)-before != 2 {
+		t.Errorf("exact repeat should be a bare pointer (2 bytes), got %d", len(msg)-before)
+	}
+	if n, _, _ := ReadWire(msg, before); n != "example.com" {
+		t.Errorf("decoded %q", n)
+	}
+}
+
+func TestReadWireRejectsForwardPointer(t *testing.T) {
+	// Pointer at offset 0 pointing to itself.
+	if _, _, err := ReadWire([]byte{0xC0, 0x00}, 0); err == nil {
+		t.Error("self-pointer should fail")
+	}
+	// Truncated label.
+	if _, _, err := ReadWire([]byte{5, 'a', 'b'}, 0); !errors.Is(err, ErrTruncated) {
+		t.Errorf("want ErrTruncated, got %v", err)
+	}
+	// Truncated pointer.
+	if _, _, err := ReadWire([]byte{0xC0}, 0); !errors.Is(err, ErrTruncated) {
+		t.Errorf("want ErrTruncated, got %v", err)
+	}
+	// Reserved label type 0x80.
+	if _, _, err := ReadWire([]byte{0x80, 0x01}, 0); !errors.Is(err, ErrBadCompress) {
+		t.Errorf("want ErrBadCompress, got %v", err)
+	}
+	// Missing terminator.
+	if _, _, err := ReadWire([]byte{1, 'a'}, 0); !errors.Is(err, ErrTruncated) {
+		t.Errorf("want ErrTruncated, got %v", err)
+	}
+}
+
+func TestPropertyCanonicalIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		c := Canonical(s)
+		return Canonical(c) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCompareIsOrdering(t *testing.T) {
+	// Compare must be antisymmetric and consistent with equality on label slices.
+	f := func(a, b uint8) bool {
+		na := genName(int(a))
+		nb := genName(int(b))
+		ab, ba := Compare(na, nb), Compare(nb, na)
+		if ab != -ba {
+			return false
+		}
+		return (ab == 0) == (na == nb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyWireRoundTrip(t *testing.T) {
+	f := func(seed uint16) bool {
+		n := genName(int(seed))
+		buf, err := AppendWire(nil, n)
+		if err != nil {
+			return false
+		}
+		got, _, err := ReadWire(buf, 0)
+		return err == nil && got == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// genName builds a small deterministic valid name from a seed.
+func genName(seed int) string {
+	labels := []string{"a", "bb", "ccc", "d1", "e-f", "example", "com", "net", "shop"}
+	n := seed%3 + 1
+	parts := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		parts = append(parts, labels[(seed+i*7)%len(labels)])
+		seed /= 3
+	}
+	return strings.Join(parts, ".")
+}
+
+func BenchmarkAppendWire(b *testing.B) {
+	buf := make([]byte, 0, 64)
+	for i := 0; i < b.N; i++ {
+		buf, _ = AppendWire(buf[:0], "www.long-subdomain.example.com")
+	}
+}
+
+func BenchmarkReadWire(b *testing.B) {
+	buf, _ := AppendWire(nil, "www.long-subdomain.example.com")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ReadWire(buf, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Compare("www.example.com", "mail.example.com")
+	}
+}

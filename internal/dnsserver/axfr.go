@@ -1,0 +1,187 @@
+package dnsserver
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"darkdns/internal/dnsmsg"
+	"darkdns/internal/dnsname"
+	"darkdns/internal/zoneset"
+)
+
+// AXFR support (RFC 5936 subset): a zone transfer is a TCP query of type
+// 252 answered by a stream of DNS messages that starts and ends with the
+// zone's SOA record. CZDS-style collection can use this instead of
+// fetching serialized zone files — the integration tests exercise both
+// paths.
+
+// TypeAXFR is the zone-transfer QTYPE.
+const TypeAXFR = dnsmsg.Type(252)
+
+// ZoneTransferrer is implemented by handlers that can enumerate a zone.
+type ZoneTransferrer interface {
+	// TransferZone returns the SOA record and every delegation record of
+	// zone, or ok=false when the handler is not authoritative for it.
+	TransferZone(zone string) (soa dnsmsg.Record, records []dnsmsg.Record, ok bool)
+}
+
+// TransferZone implements ZoneTransferrer for TLD registries.
+func (h *TLDHandler) TransferZone(zone string) (dnsmsg.Record, []dnsmsg.Record, bool) {
+	tld := h.Registry.TLD()
+	if dnsname.Canonical(zone) != tld {
+		return dnsmsg.Record{}, nil, false
+	}
+	snap := h.Registry.ZoneSnapshot(time.Time{})
+	var records []dnsmsg.Record
+	for _, dom := range snap.Domains() {
+		for _, ns := range snap.Get(dom).NS {
+			records = append(records, dnsmsg.Record{
+				Name: dom, Type: dnsmsg.TypeNS, Class: dnsmsg.ClassIN, TTL: 3600, NS: ns,
+			})
+		}
+	}
+	return h.soa(), records, true
+}
+
+// axfrBatch is the number of records packed per response message.
+const axfrBatch = 100
+
+// handleAXFR streams the transfer over conn. Returns false when the
+// handler cannot serve transfers (caller falls back to REFUSED).
+func (s *Server) handleAXFR(conn net.Conn, query *dnsmsg.Message) bool {
+	zt, ok := s.handler.(ZoneTransferrer)
+	if !ok {
+		return false
+	}
+	zone := query.Questions[0].Name
+	soa, records, ok := zt.TransferZone(zone)
+	if !ok {
+		return false
+	}
+	write := func(m *dnsmsg.Message) error {
+		wire, err := m.Pack()
+		if err != nil {
+			return err
+		}
+		out := make([]byte, 2+len(wire))
+		binary.BigEndian.PutUint16(out, uint16(len(wire)))
+		copy(out[2:], wire)
+		conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		_, err = conn.Write(out)
+		return err
+	}
+	// Opening message: SOA (plus the first batch).
+	first := query.Reply()
+	first.Header.Authoritative = true
+	first.Answers = append(first.Answers, soa)
+	if err := write(first); err != nil {
+		return true
+	}
+	for i := 0; i < len(records); i += axfrBatch {
+		end := i + axfrBatch
+		if end > len(records) {
+			end = len(records)
+		}
+		m := query.Reply()
+		m.Header.Authoritative = true
+		m.Answers = records[i:end]
+		if err := write(m); err != nil {
+			return true
+		}
+	}
+	// Closing message: SOA again.
+	last := query.Reply()
+	last.Header.Authoritative = true
+	last.Answers = append(last.Answers, soa)
+	write(last)
+	return true
+}
+
+// AXFRClient fetches zones over TCP.
+type AXFRClient struct {
+	Addr    string
+	Timeout time.Duration
+}
+
+// errTransfer wraps AXFR protocol violations.
+var errTransfer = errors.New("dnsserver: bad zone transfer")
+
+// Transfer performs an AXFR for zone and materializes the result as a
+// snapshot.
+func (c *AXFRClient) Transfer(ctx context.Context, zone string) (*zoneset.Snapshot, error) {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.Addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	q := dnsmsg.NewQuery(4242, zone, TypeAXFR)
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	framed := make([]byte, 2+len(wire))
+	binary.BigEndian.PutUint16(framed, uint16(len(wire)))
+	copy(framed[2:], wire)
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(framed); err != nil {
+		return nil, err
+	}
+
+	zone = dnsname.Canonical(zone)
+	snap := zoneset.NewSnapshot(zone, 0, time.Time{})
+	pending := make(map[string][]string)
+	soaSeen := 0
+	for soaSeen < 2 {
+		var lenBuf [2]byte
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return nil, fmt.Errorf("%w: %v", errTransfer, err)
+		}
+		body := make([]byte, binary.BigEndian.Uint16(lenBuf[:]))
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return nil, fmt.Errorf("%w: %v", errTransfer, err)
+		}
+		m, err := dnsmsg.Unpack(body)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errTransfer, err)
+		}
+		if m.Header.RCode != dnsmsg.RCodeNoError {
+			return nil, fmt.Errorf("%w: %s", errTransfer, m.Header.RCode)
+		}
+		if len(m.Answers) == 0 {
+			return nil, fmt.Errorf("%w: empty message", errTransfer)
+		}
+		for _, r := range m.Answers {
+			switch r.Type {
+			case dnsmsg.TypeSOA:
+				soaSeen++
+				snap.Serial = r.SOA.Serial
+			case dnsmsg.TypeNS:
+				if r.Name != zone {
+					pending[r.Name] = append(pending[r.Name], r.NS)
+				}
+			}
+			if soaSeen == 2 {
+				break
+			}
+		}
+	}
+	for dom, ns := range pending {
+		snap.Add(dom, ns)
+	}
+	return snap, nil
+}
+
+// Compile-time check: TLDHandler must keep satisfying ZoneTransferrer as
+// the registry API evolves.
+var _ ZoneTransferrer = (*TLDHandler)(nil)

@@ -1,0 +1,85 @@
+package dnsserver
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"darkdns/internal/registry"
+	"darkdns/internal/simclock"
+	"darkdns/internal/zoneset"
+)
+
+func TestAXFREndToEnd(t *testing.T) {
+	clk := simclock.NewSim(t0)
+	reg := registry.New(registry.DefaultConfig("shop"), clk, rand.New(rand.NewSource(1)))
+	defer reg.Stop()
+	for i := 0; i < 250; i++ {
+		reg.Register(fmt.Sprintf("d%04d.shop", i), "R",
+			[]string{fmt.Sprintf("ns%d.cloudflare.com", i%3), "ns9.cloudflare.com"}, netip.Addr{})
+	}
+	clk.Advance(20 * time.Minute) // zone rebuild
+
+	addr, stop := startServer(t, &TLDHandler{Registry: reg})
+	defer stop()
+
+	client := &AXFRClient{Addr: addr, Timeout: 5 * time.Second}
+	snap, err := client.Transfer(context.Background(), "shop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() != 250 {
+		t.Fatalf("transferred %d delegations, want 250", snap.Len())
+	}
+	if snap.Serial != reg.Serial() {
+		t.Errorf("serial = %d, want %d", snap.Serial, reg.Serial())
+	}
+	// Spot-check a delegation against the live zone.
+	truth := reg.ZoneSnapshot(clk.Now())
+	d := zoneset.Compare(truth, snap)
+	if len(d.Added)+len(d.Removed)+len(d.Changed) != 0 {
+		t.Errorf("transfer differs from live zone: %+v", d)
+	}
+}
+
+func TestAXFRRefusedForForeignZone(t *testing.T) {
+	clk := simclock.NewSim(t0)
+	reg := registry.New(registry.DefaultConfig("shop"), clk, rand.New(rand.NewSource(1)))
+	defer reg.Stop()
+	addr, stop := startServer(t, &TLDHandler{Registry: reg})
+	defer stop()
+
+	client := &AXFRClient{Addr: addr, Timeout: 2 * time.Second}
+	if _, err := client.Transfer(context.Background(), "com"); err == nil {
+		t.Fatal("foreign-zone transfer should fail")
+	}
+}
+
+func TestAXFRRefusedByNonTransferrer(t *testing.T) {
+	h := NewHostingHandler(60)
+	addr, stop := startServer(t, h)
+	defer stop()
+	client := &AXFRClient{Addr: addr, Timeout: 2 * time.Second}
+	if _, err := client.Transfer(context.Background(), "anything.com"); err == nil {
+		t.Fatal("transfer from non-transferrer should fail")
+	}
+}
+
+func TestAXFREmptyZone(t *testing.T) {
+	clk := simclock.NewSim(t0)
+	reg := registry.New(registry.DefaultConfig("top"), clk, rand.New(rand.NewSource(1)))
+	defer reg.Stop()
+	addr, stop := startServer(t, &TLDHandler{Registry: reg})
+	defer stop()
+	client := &AXFRClient{Addr: addr, Timeout: 2 * time.Second}
+	snap, err := client.Transfer(context.Background(), "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() != 0 {
+		t.Errorf("empty zone transferred %d delegations", snap.Len())
+	}
+}

@@ -1,0 +1,214 @@
+// Package dnsserver is an authoritative DNS server framework serving the
+// simulated registries' zones over real UDP and TCP transports. The
+// measurement integration tests exercise the full wire path: resolver →
+// UDP socket → server → registry zone data.
+package dnsserver
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"darkdns/internal/dnsmsg"
+)
+
+// Handler produces a response for one question. Implementations must be
+// safe for concurrent use.
+type Handler interface {
+	Handle(q dnsmsg.Question) *dnsmsg.Message
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(q dnsmsg.Question) *dnsmsg.Message
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(q dnsmsg.Question) *dnsmsg.Message { return f(q) }
+
+// Server serves DNS over UDP and TCP.
+type Server struct {
+	handler Handler
+
+	mu     sync.Mutex
+	pc     net.PacketConn
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New creates a server dispatching to handler.
+func New(handler Handler) *Server {
+	return &Server{handler: handler}
+}
+
+// ListenAndServe binds UDP and TCP on addr (e.g. "127.0.0.1:0") and serves
+// until Close. It returns the bound UDP address (UDP and TCP share the
+// port when addr requests port 0 only if the OS assigns the same; for
+// tests use the returned address's port for both).
+func (s *Server) ListenAndServe(addr string) (net.Addr, error) {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	// Bind TCP on the same port UDP got.
+	ln, err := net.Listen("tcp", pc.LocalAddr().String())
+	if err != nil {
+		pc.Close()
+		return nil, err
+	}
+	s.mu.Lock()
+	s.pc, s.ln = pc, ln
+	s.mu.Unlock()
+	s.wg.Add(2)
+	go s.serveUDP(pc)
+	go s.serveTCP(ln)
+	return pc.LocalAddr(), nil
+}
+
+// Close stops both listeners and waits for the serve loops to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	pc, ln := s.pc, s.ln
+	s.mu.Unlock()
+	var err error
+	if pc != nil {
+		err = errors.Join(err, pc.Close())
+	}
+	if ln != nil {
+		err = errors.Join(err, ln.Close())
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serveUDP(pc net.PacketConn) {
+	defer s.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, raddr, err := pc.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		go func(pkt []byte, raddr net.Addr) {
+			resp := s.respond(pkt, 512)
+			if resp != nil {
+				pc.WriteTo(resp, raddr)
+			}
+		}(pkt, raddr)
+	}
+}
+
+func (s *Server) serveTCP(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.serveTCPConn(conn)
+	}
+}
+
+func (s *Server) serveTCPConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		var lenBuf [2]byte
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		msgLen := binary.BigEndian.Uint16(lenBuf[:])
+		pkt := make([]byte, msgLen)
+		if _, err := io.ReadFull(conn, pkt); err != nil {
+			return
+		}
+		// Zone transfers stream multiple messages and own the connection.
+		if query, err := dnsmsg.Unpack(pkt); err == nil &&
+			len(query.Questions) == 1 && query.Questions[0].Type == TypeAXFR {
+			if s.handleAXFR(conn, query) {
+				return
+			}
+			refused := query.Reply()
+			refused.Header.RCode = dnsmsg.RCodeRefused
+			if wire, err := refused.Pack(); err == nil {
+				out := make([]byte, 2+len(wire))
+				binary.BigEndian.PutUint16(out, uint16(len(wire)))
+				copy(out[2:], wire)
+				conn.Write(out)
+			}
+			return
+		}
+		resp := s.respond(pkt, 0xFFFF)
+		if resp == nil {
+			return
+		}
+		out := make([]byte, 2+len(resp))
+		binary.BigEndian.PutUint16(out, uint16(len(resp)))
+		copy(out[2:], resp)
+		if _, err := conn.Write(out); err != nil {
+			return
+		}
+	}
+}
+
+// respond decodes a query, dispatches it and encodes the reply, truncating
+// responses larger than maxSize per RFC 1035 §4.2.1. An EDNS0 OPT record
+// in the query raises the UDP limit to the advertised payload size
+// (RFC 6891).
+func (s *Server) respond(pkt []byte, maxSize int) []byte {
+	query, err := dnsmsg.Unpack(pkt)
+	if err != nil || query.Header.Response || len(query.Questions) == 0 {
+		return nil // drop garbage silently like real servers do
+	}
+	if maxSize == 512 {
+		if size, ok := query.EDNSSize(); ok && int(size) > maxSize {
+			maxSize = int(size)
+		}
+	}
+	var resp *dnsmsg.Message
+	if query.Header.OpCode != 0 {
+		resp = query.Reply()
+		resp.Header.RCode = dnsmsg.RCodeNotImp
+	} else {
+		resp = s.handler.Handle(query.Questions[0])
+		if resp == nil {
+			resp = query.Reply()
+			resp.Header.RCode = dnsmsg.RCodeServFail
+		} else {
+			// Mirror query identity even if the handler built a fresh
+			// message.
+			resp.Header.ID = query.Header.ID
+			resp.Header.Response = true
+			if len(resp.Questions) == 0 {
+				resp.Questions = query.Questions
+			}
+		}
+	}
+	wire, err := resp.Pack()
+	if err != nil {
+		fail := query.Reply()
+		fail.Header.RCode = dnsmsg.RCodeServFail
+		wire, err = fail.Pack()
+		if err != nil {
+			return nil
+		}
+	}
+	if len(wire) > maxSize {
+		trunc := query.Reply()
+		trunc.Header.Truncated = true
+		wire, err = trunc.Pack()
+		if err != nil {
+			return nil
+		}
+	}
+	return wire
+}

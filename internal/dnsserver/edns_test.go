@@ -1,0 +1,51 @@
+package dnsserver
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"darkdns/internal/dnsmsg"
+	"darkdns/internal/resolver"
+)
+
+// TestEDNSLiftsTruncation verifies RFC 6891 behaviour over real UDP: a
+// response exceeding 512 bytes is truncated for plain queries but
+// delivered whole when the client advertises a larger payload size.
+func TestEDNSLiftsTruncation(t *testing.T) {
+	h := NewHostingHandler(60)
+	// 40 A records ≈ 40×(compressed name ~2 + 14) + overhead > 512 bytes.
+	var addrs []netip.Addr
+	for i := 0; i < 40; i++ {
+		addrs = append(addrs, netip.MustParseAddr(fmt.Sprintf("104.16.%d.%d", i/250, i%250+1)))
+	}
+	h.Set("big.com", addrs...)
+	addr, stop := startServer(t, h)
+	defer stop()
+
+	ex := &resolver.UDPExchanger{Addr: addr, Timeout: 2 * time.Second, Retries: 2}
+
+	plain := dnsmsg.NewQuery(7, "big.com", dnsmsg.TypeA)
+	resp, err := ex.Exchange(context.Background(), plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Header.Truncated {
+		t.Fatalf("plain UDP response not truncated: %d answers", len(resp.Answers))
+	}
+
+	edns := dnsmsg.NewQuery(8, "big.com", dnsmsg.TypeA)
+	edns.SetEDNS0(dnsmsg.DefaultEDNSSize)
+	resp, err = ex.Exchange(context.Background(), edns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Truncated {
+		t.Fatal("EDNS response still truncated")
+	}
+	if len(resp.Answers) != 40 {
+		t.Fatalf("EDNS answers = %d, want 40", len(resp.Answers))
+	}
+}

@@ -1,0 +1,15 @@
+package dnsserver
+
+import (
+	"io"
+	"net"
+)
+
+// Small indirection helpers keep the main test file free of conditional
+// imports.
+
+func netDialTCP(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+func netDialUDP(addr string) (net.Conn, error) { return net.Dial("udp", addr) }
+func ioReadFull(r io.Reader, b []byte) (int, error) {
+	return io.ReadFull(r, b)
+}

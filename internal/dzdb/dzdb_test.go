@@ -1,0 +1,72 @@
+package dzdb
+
+import (
+	"testing"
+	"time"
+
+	"darkdns/internal/zoneset"
+)
+
+var t0 = time.Date(2023, 11, 1, 0, 0, 0, 0, time.UTC)
+
+func TestObserveWindow(t *testing.T) {
+	db := New()
+	db.Observe("x.com", t0.Add(48*time.Hour))
+	db.Observe("x.com", t0)
+	db.Observe("x.com", t0.Add(24*time.Hour))
+
+	o, ok := db.Lookup("X.COM")
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	if !o.FirstSeen.Equal(t0) || !o.LastSeen.Equal(t0.Add(48*time.Hour)) {
+		t.Errorf("window: %+v", o)
+	}
+	if db.Len() != 1 {
+		t.Errorf("Len = %d", db.Len())
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	db := New()
+	if _, ok := db.Lookup("nope.com"); ok {
+		t.Error("missing domain found")
+	}
+}
+
+func TestExistedBefore(t *testing.T) {
+	db := New()
+	db.Observe("old.com", t0.Add(-30*24*time.Hour))
+	if !db.ExistedBefore("old.com", t0) {
+		t.Error("old.com existed before t0")
+	}
+	if db.ExistedBefore("old.com", t0.Add(-31*24*time.Hour)) {
+		t.Error("not before its first sighting")
+	}
+	if db.ExistedBefore("new.com", t0) {
+		t.Error("unknown domain existed")
+	}
+}
+
+func TestIngestSnapshot(t *testing.T) {
+	db := New()
+	s := zoneset.NewSnapshot("com", 1, t0)
+	s.Add("a.com", []string{"ns1.x.net"})
+	s.Add("b.com", []string{"ns1.x.net"})
+	db.IngestSnapshot(s)
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	o, _ := db.Lookup("a.com")
+	if !o.FirstSeen.Equal(t0) {
+		t.Errorf("FirstSeen = %v", o.FirstSeen)
+	}
+	// A later snapshot extends LastSeen.
+	s2 := zoneset.NewSnapshot("com", 2, t0.Add(24*time.Hour))
+	s2.Add("a.com", []string{"ns1.x.net"})
+	db.IngestSnapshot(s2)
+	o, _ = db.Lookup("a.com")
+	if !o.LastSeen.Equal(t0.Add(24 * time.Hour)) {
+		t.Errorf("LastSeen = %v", o.LastSeen)
+	}
+}

@@ -1,0 +1,5 @@
+package feed
+
+import "net"
+
+func dial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }

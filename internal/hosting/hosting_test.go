@@ -1,0 +1,125 @@
+package hosting
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"darkdns/internal/asdb"
+)
+
+func TestByName(t *testing.T) {
+	p := ByName("Cloudflare")
+	if p == nil || p.NSSuffix != "cloudflare.com" || p.ASN != 13335 {
+		t.Fatalf("Cloudflare: %+v", p)
+	}
+	if ByName("Nonexistent") != nil {
+		t.Error("unknown provider should be nil")
+	}
+}
+
+func TestPickDNSTransientSharesConverge(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 200_000
+	counts := make(map[string]int)
+	for i := 0; i < n; i++ {
+		counts[PickDNS(rng, true).Name]++
+	}
+	// Paper Table 4: Cloudflare 49.5 %, Hostinger 8.7 %.
+	cf := float64(counts["Cloudflare"]) / n
+	if math.Abs(cf-0.495) > 0.01 {
+		t.Errorf("Cloudflare share = %.3f, want ≈0.495", cf)
+	}
+	hs := float64(counts["Hostinger"]) / n
+	if math.Abs(hs-0.087) > 0.01 {
+		t.Errorf("Hostinger share = %.3f, want ≈0.087", hs)
+	}
+}
+
+func TestPickWebTransientSharesConverge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 200_000
+	counts := make(map[string]int)
+	for i := 0; i < n; i++ {
+		counts[PickWeb(rng, true).Name]++
+	}
+	// Paper Table 5: Cloudflare 36.2 %, Hostinger 14.0 %, Amazon 7.6 %.
+	for name, want := range map[string]float64{"Cloudflare": 0.362, "Hostinger": 0.140, "Amazon": 0.076} {
+		got := float64(counts[name]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%s share = %.3f, want ≈%.3f", name, got, want)
+		}
+	}
+}
+
+func TestNormalSharesDifferFromTransient(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 100_000
+	tCount, nCount := 0, 0
+	for i := 0; i < n; i++ {
+		if PickDNS(rng, true).Name == "Cloudflare" {
+			tCount++
+		}
+		if PickDNS(rng, false).Name == "Cloudflare" {
+			nCount++
+		}
+	}
+	if tCount <= nCount {
+		t.Errorf("transient Cloudflare share (%d) should exceed normal (%d)", tCount, nCount)
+	}
+}
+
+func TestNSNamesVaryByShard(t *testing.T) {
+	p := ByName("Cloudflare")
+	ns0 := p.NSNames(0)
+	ns1 := p.NSNames(1)
+	if len(ns0) != 2 || ns0[0] == ns1[0] {
+		t.Errorf("NSNames: %v vs %v", ns0, ns1)
+	}
+	for _, ns := range ns0 {
+		if want := "cloudflare.com"; len(ns) < len(want) || ns[len(ns)-len(want):] != want {
+			t.Errorf("NS %q not under provider suffix", ns)
+		}
+	}
+}
+
+func TestWebAddrInsidePoolAndResolvesToASN(t *testing.T) {
+	db := asdb.Default()
+	for _, p := range All() {
+		for seed := uint64(0); seed < 50; seed++ {
+			addr := p.WebAddr(seed)
+			if !p.V4.Contains(addr) {
+				t.Fatalf("%s WebAddr(%d) = %v outside %v", p.Name, seed, addr, p.V4)
+			}
+		}
+		as, err := db.Lookup(p.WebAddr(7))
+		if err != nil {
+			t.Errorf("%s: ASN lookup failed: %v", p.Name, err)
+			continue
+		}
+		if as.Number != p.ASN {
+			// NS1 shares Amazon's pool by construction; allow that alias.
+			if p.Name == "NS1" && as.Number == 16509 {
+				continue
+			}
+			t.Errorf("%s: addr resolves to %v, catalog says AS%d", p.Name, as, p.ASN)
+		}
+	}
+}
+
+func TestWebAddrDeterministic(t *testing.T) {
+	p := ByName("Hostinger")
+	if p.WebAddr(42) != p.WebAddr(42) {
+		t.Error("WebAddr not deterministic")
+	}
+	if p.WebAddr(1) == p.WebAddr(2) {
+		t.Error("distinct seeds should usually differ")
+	}
+}
+
+func BenchmarkPickDNS(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < b.N; i++ {
+		PickDNS(rng, true)
+	}
+}

@@ -1,0 +1,135 @@
+package measure_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"darkdns/internal/dnsmsg"
+	"darkdns/internal/dnsserver"
+	"darkdns/internal/measure"
+	"darkdns/internal/registry"
+	"darkdns/internal/resolver"
+	"darkdns/internal/simclock"
+)
+
+var t0 = time.Date(2023, 11, 1, 0, 0, 0, 0, time.UTC)
+
+// wireBackend implements measure.Backend over real UDP: NS queries go
+// directly to the TLD authoritative server (as the paper's workers do),
+// A queries go through a caching resolver pointed at the hosting fleet.
+type wireBackend struct {
+	tldEx *resolver.UDPExchanger
+	res   *resolver.Resolver
+}
+
+func (b *wireBackend) AuthoritativeNS(domain string) ([]string, bool) {
+	q := dnsmsg.NewQuery(uint16(rand.Intn(1<<16)), domain, dnsmsg.TypeNS)
+	resp, err := b.tldEx.Exchange(context.Background(), q)
+	if err != nil || resp.Header.RCode != dnsmsg.RCodeNoError {
+		return nil, false
+	}
+	var ns []string
+	for _, r := range resp.Answers {
+		if r.Type == dnsmsg.TypeNS {
+			ns = append(ns, r.NS)
+		}
+	}
+	return ns, len(ns) > 0
+}
+
+func (b *wireBackend) LookupA(domain string) []netip.Addr {
+	recs, err := b.res.Lookup(context.Background(), domain, dnsmsg.TypeA)
+	if err != nil {
+		return nil
+	}
+	var out []netip.Addr
+	for _, r := range recs {
+		if r.Type == dnsmsg.TypeA {
+			out = append(out, r.A)
+		}
+	}
+	return out
+}
+
+func (b *wireBackend) LookupAAAA(domain string) []netip.Addr {
+	recs, err := b.res.Lookup(context.Background(), domain, dnsmsg.TypeAAAA)
+	if err != nil && !errors.Is(err, resolver.ErrNXDomain) {
+		return nil
+	}
+	var out []netip.Addr
+	for _, r := range recs {
+		if r.Type == dnsmsg.TypeAAAA {
+			out = append(out, r.AAAA)
+		}
+	}
+	return out
+}
+
+// TestFleetOverRealUDP runs the full measurement path across actual
+// sockets: simulated registry → authoritative UDP server → measurement
+// backend → fleet aggregation, including a mid-watch takedown.
+func TestFleetOverRealUDP(t *testing.T) {
+	clk := simclock.NewSim(t0)
+	reg := registry.New(registry.DefaultConfig("com"), clk, rand.New(rand.NewSource(1)))
+	defer reg.Stop()
+
+	tldSrv := dnsserver.New(&dnsserver.TLDHandler{Registry: reg})
+	tldAddr, err := tldSrv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tldSrv.Close()
+
+	hosting := dnsserver.NewHostingHandler(60)
+	hostSrv := dnsserver.New(hosting)
+	hostAddr, err := hostSrv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hostSrv.Close()
+
+	backend := &wireBackend{
+		tldEx: &resolver.UDPExchanger{Addr: tldAddr.String(), Timeout: 2 * time.Second, Retries: 2},
+		res: resolver.New(resolver.Config{MaxTTL: 60 * time.Second}, clk,
+			&resolver.UDPExchanger{Addr: hostAddr.String(), Timeout: 2 * time.Second, Retries: 2}, nil),
+	}
+
+	reg.Register("wire.com", "R", []string{"ns1.cloudflare.com"}, netip.MustParseAddr("104.16.0.9"))
+	hosting.Set("wire.com", netip.MustParseAddr("104.16.0.9"))
+	clk.Advance(time.Minute) // zone rebuild
+
+	fleet := measure.NewFleet(measure.DefaultConfig(), clk, backend)
+	fleet.Watch("wire.com")
+	clk.Advance(30 * time.Minute)
+
+	st, ok := fleet.State("wire.com")
+	if !ok || !st.EverInZone {
+		t.Fatalf("state after probing: %+v", st)
+	}
+	if len(st.FirstNS) != 1 || st.FirstNS[0] != "ns1.cloudflare.com" {
+		t.Errorf("FirstNS over the wire: %v", st.FirstNS)
+	}
+	if len(st.FirstV4) != 1 || st.FirstV4[0].String() != "104.16.0.9" {
+		t.Errorf("FirstV4 over the wire: %v", st.FirstV4)
+	}
+
+	// Takedown: registry deletes, hosting disappears; the next probes
+	// must observe the death via NXDOMAIN from the TLD server.
+	if err := reg.Delete("wire.com"); err != nil {
+		t.Fatal(err)
+	}
+	hosting.Remove("wire.com")
+	clk.Advance(30 * time.Minute)
+
+	st, _ = fleet.State("wire.com")
+	if st.DeadAt.IsZero() {
+		t.Fatal("death not observed over the wire")
+	}
+	if st.LastAliveAt.IsZero() || !st.DeadAt.After(st.LastAliveAt) {
+		t.Errorf("timeline: lastAlive=%v dead=%v", st.LastAliveAt, st.DeadAt)
+	}
+}

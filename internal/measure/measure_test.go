@@ -1,0 +1,283 @@
+package measure
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"darkdns/internal/simclock"
+)
+
+var t0 = time.Date(2023, 11, 1, 0, 0, 0, 0, time.UTC)
+
+// fakeBackend is a mutable scripted DNS view.
+type fakeBackend struct {
+	mu sync.Mutex
+	ns map[string][]string
+	a  map[string][]netip.Addr
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{ns: make(map[string][]string), a: make(map[string][]netip.Addr)}
+}
+
+func (b *fakeBackend) set(domain string, ns []string, addrs ...netip.Addr) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ns == nil {
+		delete(b.ns, domain)
+		delete(b.a, domain)
+		return
+	}
+	b.ns[domain] = ns
+	b.a[domain] = addrs
+}
+
+func (b *fakeBackend) AuthoritativeNS(domain string) ([]string, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ns, ok := b.ns[domain]
+	return ns, ok
+}
+
+func (b *fakeBackend) LookupA(domain string) []netip.Addr {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.a[domain]
+}
+
+func (b *fakeBackend) LookupAAAA(domain string) []netip.Addr { return nil }
+
+func newFleet(backend Backend) (*Fleet, *simclock.Sim) {
+	clk := simclock.NewSim(t0)
+	return NewFleet(DefaultConfig(), clk, backend), clk
+}
+
+func TestWatchProbesEveryInterval(t *testing.T) {
+	b := newFakeBackend()
+	b.set("x.com", []string{"ns1.a.net"}, netip.MustParseAddr("192.0.2.1"))
+	f, clk := newFleet(b)
+	f.Watch("x.com")
+	clk.Advance(time.Hour)
+	st, ok := f.State("x.com")
+	if !ok {
+		t.Fatal("no state")
+	}
+	// Immediate probe + 6 interval probes in the first hour.
+	if st.Probes != 7 {
+		t.Errorf("probes = %d, want 7", st.Probes)
+	}
+	if !st.EverInZone || st.NSChanged {
+		t.Errorf("state: %+v", st)
+	}
+}
+
+func TestWatchStopsAfterWindow(t *testing.T) {
+	b := newFakeBackend()
+	b.set("x.com", []string{"ns1.a.net"})
+	f, clk := newFleet(b)
+	f.Watch("x.com")
+	clk.Advance(49 * time.Hour)
+	st, _ := f.State("x.com")
+	probes := st.Probes
+	if !st.Finished {
+		t.Error("watch not finished after window")
+	}
+	clk.Advance(24 * time.Hour)
+	st, _ = f.State("x.com")
+	if st.Probes != probes {
+		t.Error("probes continued after window")
+	}
+	// 48h at 10-minute cadence: immediate + 288 shots ≈ 289.
+	if probes < 285 || probes > 292 {
+		t.Errorf("probes = %d, want ≈289", probes)
+	}
+}
+
+func TestRewatchIsNoop(t *testing.T) {
+	b := newFakeBackend()
+	b.set("x.com", []string{"ns1.a.net"})
+	f, clk := newFleet(b)
+	f.Watch("x.com")
+	f.Watch("x.com")
+	clk.Advance(10 * time.Minute)
+	st, _ := f.State("x.com")
+	if st.Probes != 3 { // immediate + one tick... double-watch would double this
+		// immediate probe (1) + tick at 10m (1) = 2; a second Watch would add 2 more.
+		if st.Probes != 2 {
+			t.Errorf("probes = %d, re-watch duplicated scheduling", st.Probes)
+		}
+	}
+	if f.Watched() != 1 {
+		t.Errorf("Watched = %d", f.Watched())
+	}
+}
+
+func TestNSChangeDetected(t *testing.T) {
+	b := newFakeBackend()
+	b.set("moving.com", []string{"ns1.old.net"})
+	f, clk := newFleet(b)
+	f.Watch("moving.com")
+	clk.Advance(30 * time.Minute)
+	b.set("moving.com", []string{"ns1.new.net"})
+	clk.Advance(30 * time.Minute)
+	st, _ := f.State("moving.com")
+	if !st.NSChanged {
+		t.Error("NS change not detected")
+	}
+	if len(st.FirstNS) != 1 || st.FirstNS[0] != "ns1.old.net" {
+		t.Errorf("FirstNS: %v", st.FirstNS)
+	}
+	if len(st.LastNS) != 1 || st.LastNS[0] != "ns1.new.net" {
+		t.Errorf("LastNS: %v", st.LastNS)
+	}
+}
+
+func TestDeathDetection(t *testing.T) {
+	b := newFakeBackend()
+	b.set("shortlived.com", []string{"ns1.a.net"})
+	f, clk := newFleet(b)
+	f.Watch("shortlived.com")
+	clk.Advance(2 * time.Hour)
+	b.set("shortlived.com", nil) // removed from zone
+	clk.Advance(time.Hour)
+	st, _ := f.State("shortlived.com")
+	if st.DeadAt.IsZero() {
+		t.Fatal("death not detected")
+	}
+	// Last alive at the 2 h probe; dead at the next 10-minute tick.
+	if !st.LastAliveAt.Equal(t0.Add(2 * time.Hour)) {
+		t.Errorf("LastAliveAt = %v", st.LastAliveAt)
+	}
+	if !st.DeadAt.Equal(t0.Add(2*time.Hour + 10*time.Minute)) {
+		t.Errorf("DeadAt = %v", st.DeadAt)
+	}
+}
+
+func TestNeverInZone(t *testing.T) {
+	b := newFakeBackend()
+	f, clk := newFleet(b)
+	f.Watch("ghost.com")
+	clk.Advance(time.Hour)
+	st, _ := f.State("ghost.com")
+	if st.EverInZone || !st.DeadAt.IsZero() {
+		t.Errorf("ghost state: %+v", st)
+	}
+}
+
+func TestObserversReceiveProbes(t *testing.T) {
+	b := newFakeBackend()
+	b.set("x.com", []string{"ns2.b.net", "ns1.b.net"}, netip.MustParseAddr("192.0.2.7"))
+	f, clk := newFleet(b)
+	var got []Observation
+	f.OnObservation(func(o Observation) { got = append(got, o) })
+	f.Watch("x.com")
+	clk.Advance(10 * time.Minute)
+	if len(got) != 2 {
+		t.Fatalf("observations = %d, want 2", len(got))
+	}
+	if got[0].NS[0] != "ns1.b.net" {
+		t.Errorf("NS not sorted: %v", got[0].NS)
+	}
+	if len(got[0].V4) != 1 || got[0].V4[0].String() != "192.0.2.7" {
+		t.Errorf("V4: %v", got[0].V4)
+	}
+}
+
+func TestWorkersRoundRobin(t *testing.T) {
+	b := newFakeBackend()
+	f, clk := newFleet(b)
+	var mu sync.Mutex
+	workers := make(map[int]bool)
+	f.OnObservation(func(o Observation) {
+		mu.Lock()
+		workers[o.Worker] = true
+		mu.Unlock()
+	})
+	for i := 0; i < 32; i++ {
+		f.Watch(domainN(i))
+	}
+	clk.Advance(time.Minute)
+	if len(workers) != 16 {
+		t.Errorf("distinct workers = %d, want 16", len(workers))
+	}
+}
+
+func domainN(i int) string {
+	return string([]byte{'d', byte('a' + i%26), byte('a' + (i/26)%26)}) + ".com"
+}
+
+func TestStatesSorted(t *testing.T) {
+	b := newFakeBackend()
+	f, _ := newFleet(b)
+	f.Watch("zz.com")
+	f.Watch("aa.com")
+	states := f.States()
+	if len(states) != 2 || states[0].Domain != "aa.com" {
+		t.Errorf("States: %+v", states)
+	}
+}
+
+func BenchmarkProbeRound(b *testing.B) {
+	fb := newFakeBackend()
+	clk := simclock.NewSim(t0)
+	f := NewFleet(DefaultConfig(), clk, fb)
+	for i := 0; i < 1000; i++ {
+		d := domainN(i)
+		fb.set(d, []string{"ns1.a.net"})
+		f.Watch(d)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.Advance(10 * time.Minute)
+	}
+}
+
+// Ablation (DESIGN.md §5): cost of completing every domain's full 48-hour
+// window vs stopping at observed death, for a short-lived population.
+func benchFleetWindow(b *testing.B, stopWhenDead bool) {
+	for i := 0; i < b.N; i++ {
+		fb := newFakeBackend()
+		clk := simclock.NewSim(t0)
+		cfg := DefaultConfig()
+		cfg.StopWhenDead = stopWhenDead
+		f := NewFleet(cfg, clk, fb)
+		for j := 0; j < 200; j++ {
+			d := domainN(j)
+			fb.set(d, []string{"ns1.a.net"})
+			f.Watch(d)
+		}
+		clk.Advance(2 * time.Hour)
+		for j := 0; j < 200; j++ {
+			fb.set(domainN(j), nil) // mass takedown
+		}
+		clk.Advance(48 * time.Hour)
+	}
+}
+
+func BenchmarkFleetFullWindow(b *testing.B)   { benchFleetWindow(b, false) }
+func BenchmarkFleetStopWhenDead(b *testing.B) { benchFleetWindow(b, true) }
+
+func TestStopWhenDeadEndsSchedule(t *testing.T) {
+	fb := newFakeBackend()
+	clk := simclock.NewSim(t0)
+	cfg := DefaultConfig()
+	cfg.StopWhenDead = true
+	f := NewFleet(cfg, clk, fb)
+	fb.set("dies.com", []string{"ns1.a.net"})
+	f.Watch("dies.com")
+	clk.Advance(time.Hour)
+	fb.set("dies.com", nil)
+	clk.Advance(time.Hour)
+	st, _ := f.State("dies.com")
+	if !st.Finished || st.DeadAt.IsZero() {
+		t.Fatalf("state: %+v", st)
+	}
+	probes := st.Probes
+	clk.Advance(10 * time.Hour)
+	st, _ = f.State("dies.com")
+	if st.Probes != probes {
+		t.Error("probing continued after StopWhenDead")
+	}
+}

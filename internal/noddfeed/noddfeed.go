@@ -1,0 +1,119 @@
+// Package noddfeed simulates a commercial passive-DNS Newly Observed
+// Domain feed in the style of DomainTools' SIE NOD (§4.4). Its vantage is
+// query traffic rather than certificate issuance, so its coverage of newly
+// registered domains overlaps with — but is distinct from — the CT-based
+// DarkDNS feed: the paper measures ≈60 % overlap on NRDs and only ≈33 % on
+// transient domains.
+package noddfeed
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"darkdns/internal/dnsname"
+)
+
+// Detection is one feed entry.
+type Detection struct {
+	Domain string
+	At     time.Time
+}
+
+// Config models the feed's coverage.
+type Config struct {
+	// DetectRate is the probability a newly registered domain is ever
+	// queried through the feed's sensors (and thus detected).
+	DetectRate float64
+	// TransientDetectRate applies to short-lived domains, which generate
+	// less traffic before deletion.
+	TransientDetectRate float64
+	// DelayMean is the exponential mean of detection lag after
+	// registration.
+	DelayMean time.Duration
+}
+
+// DefaultConfig calibrates the feed so it sees ≈5 % more NRDs than the
+// CT-based method with ≈60 % overlap (§4.4).
+func DefaultConfig() Config {
+	return Config{DetectRate: 0.47, TransientDetectRate: 0.40, DelayMean: 90 * time.Minute}
+}
+
+// Feed is a passive-DNS NOD feed simulator.
+type Feed struct {
+	cfg Config
+
+	mu       sync.Mutex
+	detected map[string]time.Time
+}
+
+// New creates a feed.
+func New(cfg Config) *Feed {
+	return &Feed{cfg: cfg, detected: make(map[string]time.Time)}
+}
+
+// ObserveRegistration rolls the detection model for a registration at
+// created that will live for lifetime (0 = long-lived). Detected domains
+// enter the feed after the sampled delay — but only if the domain is
+// still alive when the first query would have been seen.
+func (f *Feed) ObserveRegistration(rng *rand.Rand, domain string, created time.Time, lifetime time.Duration) (time.Time, bool) {
+	rate := f.cfg.DetectRate
+	if lifetime > 0 && lifetime < 24*time.Hour {
+		rate = f.cfg.TransientDetectRate
+	}
+	return f.ObserveWithRate(rng, domain, created, lifetime, rate)
+}
+
+// ObserveWithRate is ObserveRegistration with a caller-supplied detection
+// probability. The world simulator uses it to correlate passive-DNS
+// visibility with certificate issuance: domains that obtain certificates
+// are more likely to attract query traffic, which is what produces the
+// ≈60 % (rather than independent ≈27 %) feed overlap of §4.4.
+func (f *Feed) ObserveWithRate(rng *rand.Rand, domain string, created time.Time, lifetime time.Duration, rate float64) (time.Time, bool) {
+	domain = dnsname.Canonical(domain)
+	if rng.Float64() >= rate {
+		return time.Time{}, false
+	}
+	delay := time.Duration(rng.ExpFloat64() * float64(f.cfg.DelayMean))
+	if lifetime > 0 && delay >= lifetime {
+		// The domain died before its traffic reached a sensor.
+		return time.Time{}, false
+	}
+	at := created.Add(delay)
+	f.mu.Lock()
+	if prev, ok := f.detected[domain]; !ok || at.Before(prev) {
+		f.detected[domain] = at
+	}
+	f.mu.Unlock()
+	return at, true
+}
+
+// DetectedAt returns when domain entered the feed.
+func (f *Feed) DetectedAt(domain string) (time.Time, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t, ok := f.detected[dnsname.Canonical(domain)]
+	return t, ok
+}
+
+// DetectedBetween returns domains first observed in [from, to), sorted.
+func (f *Feed) DetectedBetween(from, to time.Time) []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []string
+	for d, at := range f.detected {
+		if !at.Before(from) && at.Before(to) {
+			out = append(out, d)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the total number of detections.
+func (f *Feed) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.detected)
+}

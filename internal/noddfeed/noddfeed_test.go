@@ -1,0 +1,106 @@
+package noddfeed
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2024, 5, 9, 0, 0, 0, 0, time.UTC)
+
+func TestDetectionRateConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := New(DefaultConfig())
+	const n = 50_000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if _, ok := f.ObserveRegistration(rng, dom(i), t0, 0); ok {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.44 || rate > 0.50 {
+		t.Errorf("long-lived detect rate %.3f outside [0.44, 0.50]", rate)
+	}
+	if f.Len() != hits {
+		t.Errorf("Len = %d, want %d", f.Len(), hits)
+	}
+}
+
+func TestTransientsDetectedLess(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := New(DefaultConfig())
+	const n = 50_000
+	longLived, transients := 0, 0
+	for i := 0; i < n; i++ {
+		if _, ok := f.ObserveRegistration(rng, dom(i), t0, 0); ok {
+			longLived++
+		}
+		if _, ok := f.ObserveRegistration(rng, dom(i+n), t0, 3*time.Hour); ok {
+			transients++
+		}
+	}
+	if transients >= longLived {
+		t.Errorf("transients (%d) should be detected less than long-lived (%d)", transients, longLived)
+	}
+}
+
+func TestDeathBeforeDetectionDrops(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := DefaultConfig()
+	cfg.DelayMean = 10 * time.Hour // long sensor lag
+	f := New(cfg)
+	const n = 20_000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if _, ok := f.ObserveRegistration(rng, dom(i), t0, 30*time.Minute); ok {
+			hits++
+		}
+	}
+	// With a 10 h mean delay, a 30-minute life should almost always
+	// escape detection.
+	if rate := float64(hits) / n; rate > 0.05 {
+		t.Errorf("detected %.3f of instantly-dying domains", rate)
+	}
+}
+
+func TestDetectedAtAndBetween(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cfg := Config{DetectRate: 1.0, TransientDetectRate: 1.0, DelayMean: time.Minute}
+	f := New(cfg)
+	at, ok := f.ObserveRegistration(rng, "X.COM", t0, 0)
+	if !ok {
+		t.Fatal("certain detection missed")
+	}
+	got, ok := f.DetectedAt("x.com")
+	if !ok || !got.Equal(at) {
+		t.Errorf("DetectedAt: %v, %v", got, ok)
+	}
+	day := f.DetectedBetween(t0, t0.Add(24*time.Hour))
+	if len(day) != 1 || day[0] != "x.com" {
+		t.Errorf("DetectedBetween: %v", day)
+	}
+	if out := f.DetectedBetween(t0.Add(24*time.Hour), t0.Add(48*time.Hour)); len(out) != 0 {
+		t.Errorf("next-day window should be empty: %v", out)
+	}
+}
+
+func TestEarliestDetectionWins(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := New(Config{DetectRate: 1, TransientDetectRate: 1, DelayMean: time.Nanosecond})
+	f.ObserveRegistration(rng, "x.com", t0.Add(time.Hour), 0)
+	f.ObserveRegistration(rng, "x.com", t0, 0)
+	at, _ := f.DetectedAt("x.com")
+	if !at.Before(t0.Add(time.Hour)) {
+		t.Errorf("later observation overwrote earlier: %v", at)
+	}
+}
+
+func dom(i int) string {
+	b := []byte("nnnnnn.shop")
+	for p := 0; p < 6; p++ {
+		b[p] = byte('a' + i%26)
+		i /= 26
+	}
+	return string(b)
+}

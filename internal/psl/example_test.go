@@ -1,0 +1,19 @@
+package psl_test
+
+import (
+	"fmt"
+
+	"darkdns/internal/psl"
+)
+
+func ExampleList_RegisteredDomain() {
+	list := psl.Default()
+	for _, name := range []string{"www.example.com", "a.b.example.co.uk", "co.uk"} {
+		domain, ok := list.RegisteredDomain(name)
+		fmt.Println(name, "->", domain, ok)
+	}
+	// Output:
+	// www.example.com -> example.com true
+	// a.b.example.co.uk -> example.co.uk true
+	// co.uk ->  false
+}

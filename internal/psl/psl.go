@@ -1,0 +1,193 @@
+// Package psl implements Public Suffix List rule evaluation for extracting
+// registered (pay-level) domains, as used by DarkDNS step 1 to map
+// certificate SAN entries onto registrable domains.
+//
+// The rule semantics follow publicsuffix.org: the longest matching rule
+// wins, exception rules ("!") override wildcard rules ("*"), and a name
+// equal to a public suffix has no registered domain.
+package psl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"darkdns/internal/dnsname"
+)
+
+// List is a compiled set of public-suffix rules. It is immutable after
+// construction and safe for concurrent use.type
+type List struct {
+	// rules maps a canonical rule name (without "*."/"!") to its kind.
+	rules map[string]ruleKind
+}
+
+type ruleKind uint8
+
+const (
+	ruleNormal ruleKind = 1 << iota
+	ruleWildcard
+	ruleException
+)
+
+// Parse reads rules in the publicsuffix.org file format: one rule per line,
+// "//" comments and blank lines ignored.
+func Parse(r io.Reader) (*List, error) {
+	l := &List{rules: make(map[string]ruleKind)}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		// The PSL file stops rules at the first whitespace.
+		if i := strings.IndexAny(line, " \t"); i >= 0 {
+			line = line[:i]
+		}
+		if err := l.add(line); err != nil {
+			return nil, fmt.Errorf("psl: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("psl: %w", err)
+	}
+	return l, nil
+}
+
+// New compiles a list from individual rule strings (e.g. "com", "*.ck",
+// "!www.ck"). It is the programmatic construction path used by tests and
+// the simulator.
+func New(rules ...string) (*List, error) {
+	l := &List{rules: make(map[string]ruleKind)}
+	for _, r := range rules {
+		if err := l.add(r); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+func (l *List) add(rule string) error {
+	kind := ruleNormal
+	switch {
+	case strings.HasPrefix(rule, "!"):
+		kind = ruleException
+		rule = rule[1:]
+	case strings.HasPrefix(rule, "*."):
+		kind = ruleWildcard
+		rule = rule[2:]
+	}
+	rule = dnsname.Canonical(rule)
+	if rule == "" {
+		return fmt.Errorf("empty rule")
+	}
+	l.rules[rule] |= kind
+	return nil
+}
+
+// Len returns the number of distinct rule names.
+func (l *List) Len() int { return len(l.rules) }
+
+// PublicSuffix returns the public suffix of name per the list rules.
+// Unknown TLDs fall back to the implicit "*" rule (the last label).
+func (l *List) PublicSuffix(name string) string {
+	name = dnsname.Canonical(name)
+	if name == "" {
+		return ""
+	}
+	labels := dnsname.Labels(name)
+	// Walk suffixes from the TLD leftward, tracking the longest match.
+	best := labels[len(labels)-1] // implicit * rule
+	bestLabels := 1
+	suffix := ""
+	for i := len(labels) - 1; i >= 0; i-- {
+		if suffix == "" {
+			suffix = labels[i]
+		} else {
+			suffix = labels[i] + "." + suffix
+		}
+		n := len(labels) - i
+		kind, ok := l.rules[suffix]
+		if !ok {
+			continue
+		}
+		if kind&ruleException != 0 {
+			// Exception: the suffix is one label shorter than the rule.
+			return dnsname.Parent(suffix)
+		}
+		if kind&ruleNormal != 0 && n > bestLabels {
+			best, bestLabels = suffix, n
+		}
+		if kind&ruleWildcard != 0 && i > 0 {
+			// "*.suffix": one more label is part of the suffix.
+			wild := labels[i-1] + "." + suffix
+			// Unless an exception rule names that exact domain.
+			if k2 := l.rules[wild]; k2&ruleException == 0 {
+				if n+1 > bestLabels {
+					best, bestLabels = wild, n+1
+				}
+			}
+		}
+	}
+	return best
+}
+
+// RegisteredDomain returns the registrable (pay-level) domain of name:
+// the public suffix plus one label. ok is false when name IS a public
+// suffix (or the root), i.e. nothing is registrable.
+func (l *List) RegisteredDomain(name string) (domain string, ok bool) {
+	name = dnsname.Canonical(name)
+	ps := l.PublicSuffix(name)
+	if name == ps || name == "" {
+		return "", false
+	}
+	// name is strictly under ps; take suffix plus one label.
+	rest := strings.TrimSuffix(name, "."+ps)
+	if rest == name {
+		return "", false
+	}
+	if i := strings.LastIndexByte(rest, '.'); i >= 0 {
+		rest = rest[i+1:]
+	}
+	return rest + "." + ps, true
+}
+
+// IsPublicSuffix reports whether name exactly matches the list's notion of
+// a public suffix.
+func (l *List) IsPublicSuffix(name string) bool {
+	name = dnsname.Canonical(name)
+	return name != "" && l.PublicSuffix(name) == name
+}
+
+// Default returns the embedded snapshot list covering the TLDs exercised by
+// the DarkDNS reproduction (Table 1 gTLDs, the .nl ccTLD, common two-level
+// public suffixes, and tricky wildcard/exception cases for tests).
+func Default() *List {
+	l, err := New(defaultRules...)
+	if err != nil {
+		panic("psl: bad embedded rules: " + err.Error())
+	}
+	return l
+}
+
+// defaultRules is a compact snapshot of publicsuffix.org entries relevant
+// to the reproduction. The full list is ~10k rules; the pipeline only needs
+// rules for zones the simulated world can produce plus representative
+// corner cases (multi-level, wildcard, exception).
+var defaultRules = []string{
+	// Table 1 / Table 2 gTLDs.
+	"com", "net", "org", "xyz", "shop", "online", "bond", "top", "site",
+	"store", "fun", "icu", "info", "biz", "club", "live", "vip", "work",
+	"space", "website", "tech", "pro", "app", "dev", "io",
+	// ccTLDs in play.
+	"nl", "de", "uk", "co.uk", "org.uk", "ac.uk", "eu", "us", "cn",
+	"com.cn", "net.cn", "jp", "co.jp", "ne.jp", "fr", "it", "be",
+	// Multi-level public suffixes (hosting providers on the PSL).
+	"blogspot.com", "github.io", "herokuapp.com", "azurewebsites.net",
+	"cloudfront.net", "web.app", "pages.dev", "workers.dev",
+	// Wildcard + exception examples (as in the real PSL for .ck, .bd).
+	"*.ck", "!www.ck", "*.bd", "*.er",
+}

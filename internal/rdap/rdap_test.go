@@ -1,0 +1,150 @@
+package rdap
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2023, 11, 1, 0, 0, 0, 0, time.UTC)
+
+func testBackend() *Mux {
+	m := NewMux()
+	m.Handle("com", BackendFunc(func(name string) (*Record, error) {
+		switch name {
+		case "example.com":
+			return &Record{Domain: name, Registrar: "GoDaddy", Registered: t0, Status: []string{"active"}}, nil
+		case "fresh.com":
+			return nil, ErrNotSynced
+		}
+		return nil, ErrNotFound
+	}))
+	return m
+}
+
+func TestMuxRouting(t *testing.T) {
+	m := testBackend()
+	rec, err := m.RDAPDomain("Example.COM")
+	if err != nil || rec.Registrar != "GoDaddy" {
+		t.Fatalf("lookup: %+v, %v", rec, err)
+	}
+	if _, err := m.RDAPDomain("missing.com"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("want ErrNotFound, got %v", err)
+	}
+	if _, err := m.RDAPDomain("x.nl"); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("unrouted TLD: want ErrUnavailable, got %v", err)
+	}
+}
+
+func TestServerClientEndToEnd(t *testing.T) {
+	srv := NewServer(testBackend(), nil)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewClient("http://"+addr.String(), "")
+
+	rec, err := c.Domain(context.Background(), "example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Domain != "example.com" || rec.Registrar != "GoDaddy" || !rec.Registered.Equal(t0) {
+		t.Errorf("record: %+v", rec)
+	}
+	if len(rec.Status) != 1 || rec.Status[0] != "active" {
+		t.Errorf("status: %v", rec.Status)
+	}
+
+	if _, err := c.Domain(context.Background(), "missing.com"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing: %v", err)
+	}
+	if _, err := c.Domain(context.Background(), "fresh.com"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("not-synced should surface as not found: %v", err)
+	}
+}
+
+func TestServerRejectsMalformedNames(t *testing.T) {
+	srv := NewServer(testBackend(), nil)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewClient("http://"+addr.String(), "")
+	if _, err := c.Domain(context.Background(), "bad..name"); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("malformed name: %v", err)
+	}
+}
+
+func TestRateLimiting(t *testing.T) {
+	now := t0
+	rl := NewRateLimiter(1, 2, func() time.Time { return now })
+	if !rl.Allow("w1") || !rl.Allow("w1") {
+		t.Fatal("burst of 2 should be allowed")
+	}
+	if rl.Allow("w1") {
+		t.Fatal("third immediate request should be limited")
+	}
+	if !rl.Allow("w2") {
+		t.Fatal("independent key should have its own bucket")
+	}
+	now = now.Add(time.Second)
+	if !rl.Allow("w1") {
+		t.Fatal("token should refill after 1 s at 1 rps")
+	}
+	now = now.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if !rl.Allow("w1") {
+			t.Fatal("bucket should cap at burst")
+		}
+	}
+	if rl.Allow("w1") {
+		t.Fatal("bucket exceeded burst cap")
+	}
+}
+
+func TestServerRateLimitsPerWorker(t *testing.T) {
+	rl := NewRateLimiter(0.0001, 1, time.Now) // effectively one request ever
+	srv := NewServer(testBackend(), rl)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	w1 := NewClient("http://"+addr.String(), "worker-1")
+	w2 := NewClient("http://"+addr.String(), "worker-2")
+	if _, err := w1.Domain(context.Background(), "example.com"); err != nil {
+		t.Fatalf("first request: %v", err)
+	}
+	if _, err := w1.Domain(context.Background(), "example.com"); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("second request should be limited: %v", err)
+	}
+	// Cycling to a different worker identity evades the per-IP limit —
+	// exactly the paper's Azure-function tactic.
+	if _, err := w2.Domain(context.Background(), "example.com"); err != nil {
+		t.Fatalf("other worker should pass: %v", err)
+	}
+}
+
+func TestClientUnreachableServer(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1", "")
+	if _, err := c.Domain(context.Background(), "example.com"); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("want ErrUnavailable, got %v", err)
+	}
+}
+
+func TestVcardFNRobustness(t *testing.T) {
+	if vcardFN(nil) != "" || vcardFN([]any{"vcard"}) != "" {
+		t.Error("short arrays")
+	}
+	if vcardFN([]any{"vcard", "notalist"}) != "" {
+		t.Error("bad inner type")
+	}
+	good := []any{"vcard", []any{[]any{"fn", map[string]any{}, "text", "Registrar X"}}}
+	if vcardFN(good) != "Registrar X" {
+		t.Error("good vcard failed")
+	}
+}

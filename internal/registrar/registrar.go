@@ -1,0 +1,150 @@
+// Package registrar catalogs domain registrars with the market shares the
+// paper observes (Table 3 for transient domains) and models the abuse
+// workflows that produce transient domains: post-registration fraud
+// signals, account suspensions and chargebacks that make a registrar pull
+// a domain from the zone within hours (§4.3).
+package registrar
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Registrar is one catalog entry.
+type Registrar struct {
+	Name string
+	// TransientShare is the registrar's share of transient domains
+	// (paper Table 3).
+	TransientShare float64
+	// MarketShare is the registrar's share of all registrations.
+	MarketShare float64
+}
+
+// Catalog lists the paper's Table 3 registrars plus an aggregated tail.
+// Transient shares are the Table 3 percentages; overall market shares are
+// loosely proportional to gTLD market structure.
+var Catalog = []Registrar{
+	{Name: "GoDaddy", TransientShare: 0.1939, MarketShare: 0.26},
+	{Name: "Hostinger", TransientShare: 0.152, MarketShare: 0.05},
+	{Name: "NameCheap", TransientShare: 0.099, MarketShare: 0.12},
+	{Name: "Squarespace", TransientShare: 0.067, MarketShare: 0.06},
+	{Name: "Public Domain Registry", TransientShare: 0.062, MarketShare: 0.05},
+	{Name: "IONOS", TransientShare: 0.056, MarketShare: 0.05},
+	{Name: "Metaregistrar", TransientShare: 0.044, MarketShare: 0.02},
+	{Name: "NameSilo", TransientShare: 0.044, MarketShare: 0.04},
+	{Name: "Network Solutions, LLC", TransientShare: 0.039, MarketShare: 0.05},
+	{Name: "Tucows", TransientShare: 0.031, MarketShare: 0.08},
+	{Name: "Others", TransientShare: 0.213, MarketShare: 0.22},
+}
+
+// PickTransient samples a registrar per the transient-domain distribution.
+func PickTransient(rng *rand.Rand) string { return pick(rng, true) }
+
+// Pick samples a registrar per the overall market distribution.
+func Pick(rng *rand.Rand) string { return pick(rng, false) }
+
+func pick(rng *rand.Rand, transient bool) string {
+	x := rng.Float64()
+	cum := 0.0
+	total := 0.0
+	for _, r := range Catalog {
+		if transient {
+			total += r.TransientShare
+		} else {
+			total += r.MarketShare
+		}
+	}
+	for _, r := range Catalog {
+		share := r.MarketShare
+		if transient {
+			share = r.TransientShare
+		}
+		cum += share / total
+		if x <= cum {
+			return r.Name
+		}
+	}
+	return Catalog[len(Catalog)-1].Name
+}
+
+// RemovalReason is why a registrar deleted a domain early.
+type RemovalReason uint8
+
+// Early-removal reasons from the paper's registrar conversations (§4.3):
+// overwhelmingly abuse-driven, with rare legitimate cases.
+const (
+	ReasonAbuse RemovalReason = iota
+	ReasonAccountSuspension
+	ReasonPaymentFraud
+	ReasonDomainTasting
+	ReasonCancellation
+)
+
+// String names the reason.
+func (r RemovalReason) String() string {
+	switch r {
+	case ReasonAbuse:
+		return "abuse"
+	case ReasonAccountSuspension:
+		return "account-suspension"
+	case ReasonPaymentFraud:
+		return "payment-fraud"
+	case ReasonDomainTasting:
+		return "domain-tasting"
+	case ReasonCancellation:
+		return "right-of-cancellation"
+	}
+	return "unknown"
+}
+
+// Malicious reports whether the removal indicates abusive registration.
+func (r RemovalReason) Malicious() bool {
+	return r == ReasonAbuse || r == ReasonAccountSuspension || r == ReasonPaymentFraud
+}
+
+// SampleRemovalReason draws a reason: per the registrars quoted in the
+// paper, legitimate cases (tasting, cancellation) are "exceptionally
+// rare".
+func SampleRemovalReason(rng *rand.Rand) RemovalReason {
+	x := rng.Float64()
+	switch {
+	case x < 0.55:
+		return ReasonAbuse
+	case x < 0.80:
+		return ReasonAccountSuspension
+	case x < 0.96:
+		return ReasonPaymentFraud
+	case x < 0.98:
+		return ReasonDomainTasting
+	default:
+		return ReasonCancellation
+	}
+}
+
+// SampleTransientLifetime draws a transient domain's time-to-takedown.
+// Figure 2: >50 % die within 6 h, with the tail filling the 24-hour
+// window. A mixture of a fast exponential (fraud caught at payment
+// screening) and a slower uniform tail reproduces the CDF shape.
+func SampleTransientLifetime(rng *rand.Rand) time.Duration {
+	if rng.Float64() < 0.70 {
+		// Fast takedowns: exponential with 3.5 h mean, capped at 24 h.
+		d := time.Duration(rng.ExpFloat64() * float64(3*time.Hour+30*time.Minute))
+		if d >= 24*time.Hour {
+			d = 23 * time.Hour
+		}
+		if d < time.Minute {
+			d = time.Minute
+		}
+		return d
+	}
+	// Slow takedowns: uniform over 6–24 h.
+	return 6*time.Hour + time.Duration(rng.Int63n(int64(18*time.Hour)))
+}
+
+// SampleEarlyRemovedLifetime draws the lifetime of an "early-removed" NRD
+// (§4.3): removed before the analysis window's end but old enough to have
+// appeared in zone snapshots — days to weeks rather than hours.
+func SampleEarlyRemovedLifetime(rng *rand.Rand) time.Duration {
+	days := 2 + rng.Intn(40)
+	return time.Duration(days)*24*time.Hour + time.Duration(rng.Int63n(int64(24*time.Hour)))
+}

@@ -1,0 +1,121 @@
+package registrar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestCatalogSharesSumToOne(t *testing.T) {
+	var ts, ms float64
+	for _, r := range Catalog {
+		ts += r.TransientShare
+		ms += r.MarketShare
+	}
+	if math.Abs(ts-1.0) > 0.02 {
+		t.Errorf("transient shares sum to %.3f", ts)
+	}
+	if math.Abs(ms-1.0) > 0.02 {
+		t.Errorf("market shares sum to %.3f", ms)
+	}
+}
+
+func TestPickTransientConvergesToTable3(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 200_000
+	counts := make(map[string]int)
+	for i := 0; i < n; i++ {
+		counts[PickTransient(rng)]++
+	}
+	for name, want := range map[string]float64{
+		"GoDaddy":   0.1939, // Table 3 top registrar
+		"Hostinger": 0.152,
+		"NameCheap": 0.099,
+	} {
+		got := float64(counts[name]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%s transient share %.4f, want ≈%.4f", name, got, want)
+		}
+	}
+}
+
+func TestPickOverallDiffersFromTransient(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 100_000
+	tHostinger, mHostinger := 0, 0
+	for i := 0; i < n; i++ {
+		if PickTransient(rng) == "Hostinger" {
+			tHostinger++
+		}
+		if Pick(rng) == "Hostinger" {
+			mHostinger++
+		}
+	}
+	// Hostinger is over-represented among transients (15.2 % vs ~5 %).
+	if tHostinger <= mHostinger*2 {
+		t.Errorf("Hostinger transient count %d should dwarf market count %d", tHostinger, mHostinger)
+	}
+}
+
+func TestRemovalReasons(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 100_000
+	malicious := 0
+	counts := make(map[RemovalReason]int)
+	for i := 0; i < n; i++ {
+		r := SampleRemovalReason(rng)
+		counts[r]++
+		if r.Malicious() {
+			malicious++
+		}
+	}
+	// "With few exceptions, reasons for early removal include abuse,
+	// account suspensions, or credit card fraud" (§4.3).
+	if rate := float64(malicious) / n; rate < 0.90 {
+		t.Errorf("malicious share %.3f, want ≥0.90", rate)
+	}
+	if counts[ReasonDomainTasting] == 0 || counts[ReasonCancellation] == 0 {
+		t.Error("legitimate reasons should occur, rarely")
+	}
+	for r, want := range map[RemovalReason]string{
+		ReasonAbuse: "abuse", ReasonAccountSuspension: "account-suspension",
+		ReasonPaymentFraud: "payment-fraud", ReasonDomainTasting: "domain-tasting",
+		ReasonCancellation: "right-of-cancellation", RemovalReason(99): "unknown",
+	} {
+		if r.String() != want {
+			t.Errorf("reason string: %q", r.String())
+		}
+	}
+}
+
+func TestTransientLifetimeDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n = 100_000
+	under6h, under24h := 0, 0
+	for i := 0; i < n; i++ {
+		d := SampleTransientLifetime(rng)
+		if d <= 0 || d >= 24*time.Hour {
+			t.Fatalf("lifetime %v outside (0, 24h)", d)
+		}
+		if d <= 6*time.Hour {
+			under6h++
+		}
+		under24h++
+	}
+	// Figure 2: >50 % die within 6 h.
+	share := float64(under6h) / n
+	if share < 0.50 || share > 0.70 {
+		t.Errorf("under-6h share %.3f, want ≈0.55", share)
+	}
+}
+
+func TestEarlyRemovedLifetimeIsDaysScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10_000; i++ {
+		d := SampleEarlyRemovedLifetime(rng)
+		if d < 48*time.Hour || d > 43*24*time.Hour {
+			t.Fatalf("early-removed lifetime %v out of range", d)
+		}
+	}
+}

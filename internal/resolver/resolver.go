@@ -1,0 +1,228 @@
+// Package resolver implements the caching stub resolver the measurement
+// fleet uses: an Unbound-like cache with a configurable maximum TTL clamp
+// (the paper runs 60 s to keep A/AAAA answers fresh), negative caching,
+// and a direct-exchange mode for talking straight to TLD authoritative
+// servers.
+package resolver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"darkdns/internal/dnsmsg"
+	"darkdns/internal/dnsname"
+	"darkdns/internal/simclock"
+)
+
+// Exchanger performs one DNS round trip. Implementations: UDPExchanger
+// (real sockets) and in-process adapters over dnsserver.Handler.
+type Exchanger interface {
+	Exchange(ctx context.Context, msg *dnsmsg.Message) (*dnsmsg.Message, error)
+}
+
+// ExchangerFunc adapts a function to Exchanger.
+type ExchangerFunc func(ctx context.Context, msg *dnsmsg.Message) (*dnsmsg.Message, error)
+
+// Exchange implements Exchanger.
+func (f ExchangerFunc) Exchange(ctx context.Context, msg *dnsmsg.Message) (*dnsmsg.Message, error) {
+	return f(ctx, msg)
+}
+
+// Errors returned by Lookup.
+var (
+	ErrNXDomain = errors.New("resolver: name does not exist")
+	ErrServFail = errors.New("resolver: server failure")
+	ErrTimeout  = errors.New("resolver: query timed out")
+)
+
+// UDPExchanger sends queries over UDP with retry and ID verification.
+type UDPExchanger struct {
+	Addr    string        // server address, e.g. "127.0.0.1:5353"
+	Timeout time.Duration // per-attempt timeout
+	Retries int           // additional attempts after the first
+}
+
+// Exchange implements Exchanger.
+func (u *UDPExchanger) Exchange(ctx context.Context, msg *dnsmsg.Message) (*dnsmsg.Message, error) {
+	wire, err := msg.Pack()
+	if err != nil {
+		return nil, err
+	}
+	timeout := u.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	attempts := u.Retries + 1
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		resp, err := u.exchangeOnce(ctx, wire, msg.Header.ID, timeout)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, fmt.Errorf("%w: %v", ErrTimeout, lastErr)
+}
+
+func (u *UDPExchanger) exchangeOnce(ctx context.Context, wire []byte, id uint16, timeout time.Duration) (*dnsmsg.Message, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "udp", u.Addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(timeout)
+	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
+		deadline = ctxDeadline
+	}
+	conn.SetDeadline(deadline)
+	if _, err := conn.Write(wire); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := dnsmsg.Unpack(buf[:n])
+		if err != nil {
+			continue // garbage datagram; keep waiting
+		}
+		if resp.Header.ID != id || !resp.Header.Response {
+			continue // mismatched transaction
+		}
+		return resp, nil
+	}
+}
+
+// cacheKey identifies a cached RRset.
+type cacheKey struct {
+	name string
+	typ  dnsmsg.Type
+}
+
+type cacheEntry struct {
+	records  []dnsmsg.Record
+	rcode    dnsmsg.RCode
+	expires  time.Time
+	inserted time.Time
+}
+
+// Config parameterizes a Resolver.
+type Config struct {
+	// MaxTTL clamps positive answers' cache lifetime. The paper's
+	// measurement resolvers use 60 s.
+	MaxTTL time.Duration
+	// NegTTL is the cache lifetime of NXDOMAIN answers.
+	NegTTL time.Duration
+}
+
+// Resolver is a caching stub resolver over an Exchanger.
+type Resolver struct {
+	cfg Config
+	clk simclock.Clock
+	ex  Exchanger
+	rng *rand.Rand
+
+	mu     sync.Mutex
+	cache  map[cacheKey]cacheEntry
+	hits   int64
+	misses int64
+}
+
+// New creates a resolver. clk drives cache expiry so simulations expire
+// entries on virtual time.
+func New(cfg Config, clk simclock.Clock, ex Exchanger, rng *rand.Rand) *Resolver {
+	if cfg.MaxTTL <= 0 {
+		cfg.MaxTTL = 60 * time.Second
+	}
+	if cfg.NegTTL <= 0 {
+		cfg.NegTTL = 60 * time.Second
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Resolver{cfg: cfg, clk: clk, ex: ex, rng: rng, cache: make(map[cacheKey]cacheEntry)}
+}
+
+// Stats returns cumulative cache hit/miss counters.
+func (r *Resolver) Stats() (hits, misses int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hits, r.misses
+}
+
+// Flush clears the cache.
+func (r *Resolver) Flush() {
+	r.mu.Lock()
+	r.cache = make(map[cacheKey]cacheEntry)
+	r.mu.Unlock()
+}
+
+// Lookup resolves (name, type), consulting the cache first. It returns
+// the answer records; NXDOMAIN surfaces as ErrNXDomain (cached
+// negatively), other failures as ErrServFail/ErrTimeout (not cached).
+func (r *Resolver) Lookup(ctx context.Context, name string, typ dnsmsg.Type) ([]dnsmsg.Record, error) {
+	name = dnsname.Canonical(name)
+	key := cacheKey{name, typ}
+	now := r.clk.Now()
+
+	r.mu.Lock()
+	if e, ok := r.cache[key]; ok && e.expires.After(now) {
+		r.hits++
+		r.mu.Unlock()
+		if e.rcode == dnsmsg.RCodeNXDomain {
+			return nil, ErrNXDomain
+		}
+		return e.records, nil
+	}
+	r.misses++
+	r.mu.Unlock()
+
+	q := dnsmsg.NewQuery(uint16(r.rng.Intn(1<<16)), name, typ)
+	resp, err := r.ex.Exchange(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	switch resp.Header.RCode {
+	case dnsmsg.RCodeNoError:
+		ttl := r.cfg.MaxTTL
+		for _, rec := range resp.Answers {
+			if d := time.Duration(rec.TTL) * time.Second; d < ttl {
+				ttl = d
+			}
+		}
+		r.store(key, cacheEntry{records: resp.Answers, rcode: resp.Header.RCode, expires: now.Add(ttl), inserted: now})
+		return resp.Answers, nil
+	case dnsmsg.RCodeNXDomain:
+		r.store(key, cacheEntry{rcode: resp.Header.RCode, expires: now.Add(r.cfg.NegTTL), inserted: now})
+		return nil, ErrNXDomain
+	default:
+		return nil, fmt.Errorf("%w: %s", ErrServFail, resp.Header.RCode)
+	}
+}
+
+func (r *Resolver) store(key cacheKey, e cacheEntry) {
+	r.mu.Lock()
+	r.cache[key] = e
+	r.mu.Unlock()
+}
+
+// LookupAddrs resolves name to all IPv4 and IPv6 addresses (A + AAAA).
+func (r *Resolver) LookupAddrs(ctx context.Context, name string) (v4, v6 []dnsmsg.Record, err error) {
+	v4, err4 := r.Lookup(ctx, name, dnsmsg.TypeA)
+	v6, err6 := r.Lookup(ctx, name, dnsmsg.TypeAAAA)
+	if err4 != nil && err6 != nil {
+		return nil, nil, err4
+	}
+	return v4, v6, nil
+}

@@ -1,0 +1,171 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"darkdns/internal/dnsmsg"
+	"darkdns/internal/simclock"
+)
+
+var t0 = time.Date(2023, 11, 1, 0, 0, 0, 0, time.UTC)
+
+// scriptedExchanger answers from a table and counts round trips.
+type scriptedExchanger struct {
+	answers map[string][]dnsmsg.Record
+	rcode   map[string]dnsmsg.RCode
+	fail    error
+	calls   int
+}
+
+func (s *scriptedExchanger) Exchange(_ context.Context, msg *dnsmsg.Message) (*dnsmsg.Message, error) {
+	s.calls++
+	if s.fail != nil {
+		return nil, s.fail
+	}
+	q := msg.Questions[0]
+	resp := msg.Reply()
+	if rc, ok := s.rcode[q.Name]; ok {
+		resp.Header.RCode = rc
+		return resp, nil
+	}
+	for _, r := range s.answers[q.Name] {
+		if r.Type == q.Type {
+			resp.Answers = append(resp.Answers, r)
+		}
+	}
+	if len(resp.Answers) == 0 && s.answers[q.Name] == nil {
+		resp.Header.RCode = dnsmsg.RCodeNXDomain
+	}
+	return resp, nil
+}
+
+func newTestResolver(ex Exchanger) (*Resolver, *simclock.Sim) {
+	clk := simclock.NewSim(t0)
+	return New(Config{MaxTTL: 60 * time.Second, NegTTL: 30 * time.Second}, clk, ex, nil), clk
+}
+
+func TestLookupCachesPositive(t *testing.T) {
+	ex := &scriptedExchanger{answers: map[string][]dnsmsg.Record{
+		"a.com": {{Name: "a.com", Type: dnsmsg.TypeA, TTL: 300, A: netip.MustParseAddr("192.0.2.1")}},
+	}}
+	r, clk := newTestResolver(ex)
+	for i := 0; i < 3; i++ {
+		recs, err := r.Lookup(context.Background(), "A.com", dnsmsg.TypeA)
+		if err != nil || len(recs) != 1 {
+			t.Fatalf("lookup %d: %v %v", i, recs, err)
+		}
+	}
+	if ex.calls != 1 {
+		t.Errorf("exchanger calls = %d, want 1", ex.calls)
+	}
+	clk.Advance(61 * time.Second) // clamp expires before record TTL
+	r.Lookup(context.Background(), "a.com", dnsmsg.TypeA)
+	if ex.calls != 2 {
+		t.Errorf("calls after expiry = %d, want 2", ex.calls)
+	}
+}
+
+func TestShortRecordTTLWinsOverClamp(t *testing.T) {
+	ex := &scriptedExchanger{answers: map[string][]dnsmsg.Record{
+		"short.com": {{Name: "short.com", Type: dnsmsg.TypeA, TTL: 5, A: netip.MustParseAddr("192.0.2.1")}},
+	}}
+	r, clk := newTestResolver(ex)
+	r.Lookup(context.Background(), "short.com", dnsmsg.TypeA)
+	clk.Advance(6 * time.Second)
+	r.Lookup(context.Background(), "short.com", dnsmsg.TypeA)
+	if ex.calls != 2 {
+		t.Errorf("calls = %d; 5 s record TTL should expire first", ex.calls)
+	}
+}
+
+func TestNegativeCaching(t *testing.T) {
+	ex := &scriptedExchanger{}
+	r, clk := newTestResolver(ex)
+	for i := 0; i < 3; i++ {
+		if _, err := r.Lookup(context.Background(), "nx.com", dnsmsg.TypeA); !errors.Is(err, ErrNXDomain) {
+			t.Fatalf("want ErrNXDomain, got %v", err)
+		}
+	}
+	if ex.calls != 1 {
+		t.Errorf("NXDOMAIN not negatively cached: %d calls", ex.calls)
+	}
+	clk.Advance(31 * time.Second)
+	r.Lookup(context.Background(), "nx.com", dnsmsg.TypeA)
+	if ex.calls != 2 {
+		t.Errorf("negative entry did not expire: %d calls", ex.calls)
+	}
+}
+
+func TestServFailNotCached(t *testing.T) {
+	ex := &scriptedExchanger{rcode: map[string]dnsmsg.RCode{"broken.com": dnsmsg.RCodeServFail}}
+	r, _ := newTestResolver(ex)
+	for i := 0; i < 2; i++ {
+		if _, err := r.Lookup(context.Background(), "broken.com", dnsmsg.TypeA); !errors.Is(err, ErrServFail) {
+			t.Fatalf("want ErrServFail, got %v", err)
+		}
+	}
+	if ex.calls != 2 {
+		t.Errorf("SERVFAIL must not be cached: %d calls", ex.calls)
+	}
+}
+
+func TestExchangeErrorPropagates(t *testing.T) {
+	ex := &scriptedExchanger{fail: errors.New("socket melted")}
+	r, _ := newTestResolver(ex)
+	if _, err := r.Lookup(context.Background(), "x.com", dnsmsg.TypeA); err == nil {
+		t.Error("transport error swallowed")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	ex := &scriptedExchanger{answers: map[string][]dnsmsg.Record{
+		"a.com": {{Name: "a.com", Type: dnsmsg.TypeA, TTL: 300, A: netip.MustParseAddr("192.0.2.1")}},
+	}}
+	r, _ := newTestResolver(ex)
+	r.Lookup(context.Background(), "a.com", dnsmsg.TypeA)
+	r.Flush()
+	r.Lookup(context.Background(), "a.com", dnsmsg.TypeA)
+	if ex.calls != 2 {
+		t.Errorf("calls = %d after Flush, want 2", ex.calls)
+	}
+}
+
+func TestLookupAddrsCombines(t *testing.T) {
+	ex := &scriptedExchanger{answers: map[string][]dnsmsg.Record{
+		"dual.com": {
+			{Name: "dual.com", Type: dnsmsg.TypeA, TTL: 60, A: netip.MustParseAddr("192.0.2.1")},
+			{Name: "dual.com", Type: dnsmsg.TypeAAAA, TTL: 60, AAAA: netip.MustParseAddr("2001:db8::1")},
+		},
+	}}
+	r, _ := newTestResolver(ex)
+	v4, v6, err := r.LookupAddrs(context.Background(), "dual.com")
+	if err != nil || len(v4) != 1 || len(v6) != 1 {
+		t.Fatalf("LookupAddrs: %v %v %v", v4, v6, err)
+	}
+}
+
+func TestLookupAddrsBothFail(t *testing.T) {
+	ex := &scriptedExchanger{}
+	r, _ := newTestResolver(ex)
+	if _, _, err := r.LookupAddrs(context.Background(), "nx.com"); !errors.Is(err, ErrNXDomain) {
+		t.Errorf("want ErrNXDomain, got %v", err)
+	}
+}
+
+func BenchmarkCachedLookup(b *testing.B) {
+	ex := &scriptedExchanger{answers: map[string][]dnsmsg.Record{
+		"a.com": {{Name: "a.com", Type: dnsmsg.TypeA, TTL: 3600, A: netip.MustParseAddr("192.0.2.1")}},
+	}}
+	clk := simclock.NewSim(t0)
+	r := New(Config{MaxTTL: time.Hour}, clk, ex, nil)
+	r.Lookup(context.Background(), "a.com", dnsmsg.TypeA)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Lookup(context.Background(), "a.com", dnsmsg.TypeA)
+	}
+}

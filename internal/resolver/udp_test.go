@@ -1,0 +1,150 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"darkdns/internal/dnsmsg"
+)
+
+// udpResponder runs a scripted UDP DNS endpoint. The script function
+// receives each query and returns zero or more datagrams to send back.
+func udpResponder(t *testing.T, script func(q *dnsmsg.Message) [][]byte) string {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pc.Close() })
+	go func() {
+		buf := make([]byte, 64<<10)
+		for {
+			n, raddr, err := pc.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			q, err := dnsmsg.Unpack(buf[:n])
+			if err != nil {
+				continue
+			}
+			for _, resp := range script(q) {
+				pc.WriteTo(resp, raddr)
+			}
+		}
+	}()
+	return pc.LocalAddr().String()
+}
+
+func answer(q *dnsmsg.Message, addr string) []byte {
+	r := q.Reply()
+	r.Answers = []dnsmsg.Record{{
+		Name: q.Questions[0].Name, Type: dnsmsg.TypeA, Class: dnsmsg.ClassIN,
+		TTL: 60, A: netip.MustParseAddr(addr),
+	}}
+	wire, _ := r.Pack()
+	return wire
+}
+
+func TestUDPExchangerHappyPath(t *testing.T) {
+	addr := udpResponder(t, func(q *dnsmsg.Message) [][]byte {
+		return [][]byte{answer(q, "192.0.2.1")}
+	})
+	ex := &UDPExchanger{Addr: addr, Timeout: 2 * time.Second}
+	resp, err := ex.Exchange(context.Background(), dnsmsg.NewQuery(99, "x.com", dnsmsg.TypeA))
+	if err != nil || len(resp.Answers) != 1 {
+		t.Fatalf("exchange: %+v, %v", resp, err)
+	}
+	if resp.Header.ID != 99 {
+		t.Errorf("ID = %d", resp.Header.ID)
+	}
+}
+
+func TestUDPExchangerSkipsGarbageAndWrongID(t *testing.T) {
+	addr := udpResponder(t, func(q *dnsmsg.Message) [][]byte {
+		// Garbage first, then a response with the wrong transaction ID,
+		// then the real answer: the client must skip the first two.
+		wrong := q.Reply()
+		wrong.Header.ID = q.Header.ID + 1
+		wrongWire, _ := wrong.Pack()
+		return [][]byte{{0xde, 0xad, 0xbe}, wrongWire, answer(q, "192.0.2.7")}
+	})
+	ex := &UDPExchanger{Addr: addr, Timeout: 2 * time.Second}
+	resp, err := ex.Exchange(context.Background(), dnsmsg.NewQuery(7, "x.com", dnsmsg.TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 || resp.Answers[0].A.String() != "192.0.2.7" {
+		t.Fatalf("answers: %+v", resp.Answers)
+	}
+}
+
+func TestUDPExchangerTimesOut(t *testing.T) {
+	addr := udpResponder(t, func(*dnsmsg.Message) [][]byte { return nil }) // mute
+	ex := &UDPExchanger{Addr: addr, Timeout: 50 * time.Millisecond, Retries: 1}
+	start := time.Now()
+	_, err := ex.Exchange(context.Background(), dnsmsg.NewQuery(1, "x.com", dnsmsg.TypeA))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 90*time.Millisecond || elapsed > 3*time.Second {
+		t.Errorf("2 attempts à 50ms took %v", elapsed)
+	}
+}
+
+func TestUDPExchangerRetriesAfterDrop(t *testing.T) {
+	calls := 0
+	addr := udpResponder(t, func(q *dnsmsg.Message) [][]byte {
+		calls++
+		if calls == 1 {
+			return nil // drop the first query
+		}
+		return [][]byte{answer(q, "192.0.2.3")}
+	})
+	ex := &UDPExchanger{Addr: addr, Timeout: 100 * time.Millisecond, Retries: 2}
+	resp, err := ex.Exchange(context.Background(), dnsmsg.NewQuery(2, "x.com", dnsmsg.TypeA))
+	if err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatal("no answer after retry")
+	}
+	if calls < 2 {
+		t.Errorf("server saw %d queries, want ≥2", calls)
+	}
+}
+
+func TestUDPExchangerContextCancel(t *testing.T) {
+	addr := udpResponder(t, func(*dnsmsg.Message) [][]byte { return nil })
+	ex := &UDPExchanger{Addr: addr, Timeout: 5 * time.Second, Retries: 5}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := ex.Exchange(ctx, dnsmsg.NewQuery(3, "x.com", dnsmsg.TypeA)); err == nil {
+		t.Fatal("cancelled exchange succeeded")
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Error("context deadline not honoured")
+	}
+}
+
+func TestUDPExchangerUnreachable(t *testing.T) {
+	ex := &UDPExchanger{Addr: "127.0.0.1:1", Timeout: 100 * time.Millisecond}
+	if _, err := ex.Exchange(context.Background(), dnsmsg.NewQuery(4, "x.com", dnsmsg.TypeA)); err == nil {
+		t.Skip("kernel did not report ICMP refusal; environment-dependent")
+	}
+}
+
+func TestExchangerFunc(t *testing.T) {
+	called := false
+	f := ExchangerFunc(func(_ context.Context, m *dnsmsg.Message) (*dnsmsg.Message, error) {
+		called = true
+		return m.Reply(), nil
+	})
+	if _, err := f.Exchange(context.Background(), dnsmsg.NewQuery(1, "x.com", dnsmsg.TypeA)); err != nil || !called {
+		t.Fatal("adapter broken")
+	}
+}

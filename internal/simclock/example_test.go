@@ -1,0 +1,23 @@
+package simclock_test
+
+import (
+	"fmt"
+	"time"
+
+	"darkdns/internal/simclock"
+)
+
+func ExampleSim() {
+	start := time.Date(2023, 11, 1, 0, 0, 0, 0, time.UTC)
+	clk := simclock.NewSim(start)
+	clk.After(24*time.Hour, func() {
+		fmt.Println("daily snapshot at", clk.Now().Format("Jan 2 15:04"))
+	})
+	clk.After(5*time.Minute, func() {
+		fmt.Println("rapid update at", clk.Now().Format("Jan 2 15:04"))
+	})
+	clk.Advance(48 * time.Hour) // two simulated days, instantly
+	// Output:
+	// rapid update at Nov 1 00:05
+	// daily snapshot at Nov 2 00:00
+}

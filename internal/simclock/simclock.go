@@ -1,0 +1,236 @@
+// Package simclock provides virtual time for deterministic simulation.
+//
+// All DarkDNS substrates take a Clock rather than calling time.Now directly,
+// which lets the three-month measurement campaign of the paper run in
+// seconds of wall time while the exact same code paths serve real traffic
+// when backed by the real-time clock.
+//
+// The package provides two implementations:
+//
+//   - Real: a thin adapter over the time package.
+//   - Sim: a discrete-event simulator. Goroutine-safe; timers fire in
+//     timestamp order when the owner calls Advance or Run.
+package simclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for simulation. Implementations must be safe for
+// concurrent use.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// After schedules fn to run once d has elapsed on this clock.
+	// fn runs on the clock's dispatch goroutine (Sim) or a new
+	// goroutine (Real); it must not block for long.
+	After(d time.Duration, fn func())
+	// At schedules fn at an absolute instant. Instants not after Now
+	// fire on the next dispatch.
+	At(t time.Time, fn func())
+}
+
+// Real is a Clock backed by the machine's real time.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration, fn func()) { time.AfterFunc(d, fn) }
+
+// At implements Clock.
+func (r Real) At(t time.Time, fn func()) {
+	d := time.Until(t)
+	if d < 0 {
+		d = 0
+	}
+	time.AfterFunc(d, fn)
+}
+
+// event is a scheduled callback in the simulated timeline.
+type event struct {
+	at  time.Time
+	seq uint64 // tie-break so equal timestamps fire in schedule order
+	fn  func()
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].at.Before(h[j].at)
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return
+}
+
+// Sim is a deterministic discrete-event clock. Events scheduled via After/At
+// fire, in timestamp order, when the simulation owner calls Advance, Run or
+// RunUntil. Callbacks run synchronously on the advancing goroutine and may
+// schedule further events.
+type Sim struct {
+	mu     sync.Mutex
+	now    time.Time
+	seq    uint64
+	events eventHeap
+}
+
+// NewSim returns a simulated clock starting at the given instant.
+func NewSim(start time.Time) *Sim {
+	s := &Sim{now: start}
+	heap.Init(&s.events)
+	return s
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// After implements Clock.
+func (s *Sim) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	s.push(s.now.Add(d), fn)
+	s.mu.Unlock()
+}
+
+// At implements Clock.
+func (s *Sim) At(t time.Time, fn func()) {
+	s.mu.Lock()
+	if t.Before(s.now) {
+		t = s.now
+	}
+	s.push(t, fn)
+	s.mu.Unlock()
+}
+
+// push appends an event; caller holds mu.
+func (s *Sim) push(at time.Time, fn func()) {
+	s.seq++
+	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// Pending reports the number of scheduled events not yet fired.
+func (s *Sim) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// NextAt returns the timestamp of the earliest pending event.
+// ok is false when no events are pending.
+func (s *Sim) NextAt() (t time.Time, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.events) == 0 {
+		return time.Time{}, false
+	}
+	return s.events[0].at, true
+}
+
+// Advance moves simulated time forward by d, firing every event whose
+// timestamp falls within the window in order. It returns the number of
+// events fired.
+func (s *Sim) Advance(d time.Duration) int {
+	if d < 0 {
+		d = 0
+	}
+	return s.advanceTo(s.Now().Add(d))
+}
+
+// RunUntil fires events in order until the clock reaches t.
+func (s *Sim) RunUntil(t time.Time) int { return s.advanceTo(t) }
+
+// Run fires events until none remain, returning the count fired. Callbacks
+// may schedule more events; Run continues until the queue drains.
+func (s *Sim) Run() int {
+	fired := 0
+	for {
+		s.mu.Lock()
+		if len(s.events) == 0 {
+			s.mu.Unlock()
+			return fired
+		}
+		ev := heap.Pop(&s.events).(*event)
+		s.now = ev.at
+		s.mu.Unlock()
+		ev.fn()
+		fired++
+	}
+}
+
+// advanceTo fires events with at <= deadline and leaves now == deadline.
+func (s *Sim) advanceTo(deadline time.Time) int {
+	fired := 0
+	for {
+		s.mu.Lock()
+		if len(s.events) == 0 || s.events[0].at.After(deadline) {
+			if deadline.After(s.now) {
+				s.now = deadline
+			}
+			s.mu.Unlock()
+			return fired
+		}
+		ev := heap.Pop(&s.events).(*event)
+		if ev.at.After(s.now) {
+			s.now = ev.at
+		}
+		s.mu.Unlock()
+		ev.fn()
+		fired++
+	}
+}
+
+// Ticker invokes fn every period on clk until stop is called. It is the
+// simulation-friendly replacement for time.Ticker: under a Sim clock the
+// callback fires exactly once per simulated period.
+type Ticker struct {
+	mu      sync.Mutex
+	stopped bool
+}
+
+// NewTicker starts a ticker on clk. The first firing is one period from now.
+func NewTicker(clk Clock, period time.Duration, fn func(now time.Time)) *Ticker {
+	t := &Ticker{}
+	var arm func()
+	arm = func() {
+		clk.After(period, func() {
+			t.mu.Lock()
+			stopped := t.stopped
+			t.mu.Unlock()
+			if stopped {
+				return
+			}
+			fn(clk.Now())
+			arm()
+		})
+	}
+	arm()
+	return t
+}
+
+// Stop prevents future firings. A firing already dispatched may still run.
+func (t *Ticker) Stop() {
+	t.mu.Lock()
+	t.stopped = true
+	t.mu.Unlock()
+}

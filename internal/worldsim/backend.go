@@ -1,0 +1,80 @@
+package worldsim
+
+import (
+	"net/netip"
+	"strings"
+
+	"darkdns/internal/dnsname"
+	"darkdns/internal/measure"
+)
+
+// probeBackend implements measure.Backend over the simulated registries:
+// NS queries consult the live TLD zone (exactly what querying the TLD
+// authoritative servers observes), and address queries resolve to the
+// registration's web host while the domain is delegated.
+type probeBackend struct{ w *World }
+
+// ProbeBackend returns the measurement fleet's view of this world.
+func (w *World) ProbeBackend() measure.Backend { return probeBackend{w} }
+
+func (b probeBackend) AuthoritativeNS(domain string) ([]string, bool) {
+	reg := b.w.Registries[dnsname.TLD(dnsname.Canonical(domain))]
+	if reg == nil {
+		return nil, false
+	}
+	return reg.Delegation(domain)
+}
+
+func (b probeBackend) LookupA(domain string) []netip.Addr {
+	domain = dnsname.Canonical(domain)
+	reg := b.w.Registries[dnsname.TLD(domain)]
+	if reg == nil || !reg.InZone(domain) {
+		return nil
+	}
+	rec, ok := reg.Lookup(domain)
+	if !ok || !rec.WebAddr.IsValid() {
+		return nil
+	}
+	return []netip.Addr{rec.WebAddr}
+}
+
+func (b probeBackend) LookupAAAA(domain string) []netip.Addr { return nil }
+
+// LookupMX implements measure.MailBackend from ground truth, answering
+// only while the domain is delegated.
+func (b probeBackend) LookupMX(domain string) []string {
+	if d := b.liveDomain(domain); d != nil && d.HasMX {
+		return []string{"mx1." + d.Name, "mx2." + d.Name}
+	}
+	return nil
+}
+
+// LookupTXT implements measure.MailBackend.
+func (b probeBackend) LookupTXT(domain string) []string {
+	if d := b.liveDomain(domain); d != nil && d.HasSPF {
+		return []string{"v=spf1 include:_spf." + d.WebHostSPFDomain() + " -all"}
+	}
+	return nil
+}
+
+// liveDomain returns ground truth for domain when it is currently in its
+// TLD zone.
+func (b probeBackend) liveDomain(domain string) *Domain {
+	domain = dnsname.Canonical(domain)
+	reg := b.w.Registries[dnsname.TLD(domain)]
+	if reg == nil || !reg.InZone(domain) {
+		return nil
+	}
+	return b.w.Domains[domain]
+}
+
+// WebHostSPFDomain derives the SPF include target from the hosting
+// provider name.
+func (d *Domain) WebHostSPFDomain() string {
+	switch d.WebHost {
+	case "":
+		return "example.net"
+	default:
+		return strings.ToLower(strings.ReplaceAll(d.WebHost, " ", "")) + ".com"
+	}
+}

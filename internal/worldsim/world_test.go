@@ -1,0 +1,181 @@
+package worldsim
+
+import (
+	"testing"
+	"time"
+
+	"darkdns/internal/certstream"
+)
+
+func tinyConfig(seed int64) Config {
+	cfg := DefaultConfig(seed, 0.001)
+	cfg.Weeks = 2
+	return cfg
+}
+
+func TestWorldGeneratesGroundTruth(t *testing.T) {
+	w := New(tinyConfig(1))
+	if len(w.Domains) == 0 {
+		t.Fatal("no domains generated")
+	}
+	var fast, normal, certed int
+	for _, d := range w.Domains {
+		if d.FastDelete {
+			fast++
+			if d.Lifetime <= 0 || d.Lifetime >= 24*time.Hour {
+				t.Fatalf("fast-deleted lifetime %v", d.Lifetime)
+			}
+		} else {
+			normal++
+		}
+		if d.CertAsked {
+			certed++
+		}
+	}
+	if fast == 0 || normal == 0 {
+		t.Fatalf("population: fast=%d normal=%d", fast, normal)
+	}
+	if certed == 0 {
+		t.Fatal("no certificates requested")
+	}
+	if len(w.Ghosts) == 0 {
+		t.Fatal("no ghost issuances scheduled")
+	}
+	w.Stop()
+}
+
+func TestWorldRunProducesObservables(t *testing.T) {
+	w := New(tinyConfig(2))
+	var events int
+	w.Hub.Subscribe(func(certstream.Event) { events++ })
+	w.Run()
+
+	if events == 0 {
+		t.Fatal("no certstream events during run")
+	}
+	if got := w.Log.Size(); got == 0 {
+		t.Fatal("CT log empty")
+	}
+	if len(w.CZDS.TLDs()) == 0 {
+		t.Fatal("no CZDS snapshots collected")
+	}
+	// The ccTLD must not appear in CZDS.
+	for _, tld := range w.CZDS.TLDs() {
+		if tld == "nl" {
+			t.Error("ccTLD leaked into CZDS")
+		}
+	}
+	if w.DZDB.Len() == 0 {
+		t.Fatal("DZDB never populated")
+	}
+}
+
+func TestWorldDeterministicAcrossRuns(t *testing.T) {
+	run := func() (int64, int) {
+		w := New(tinyConfig(7))
+		w.Run()
+		return w.Log.Size(), len(w.Domains)
+	}
+	s1, d1 := run()
+	s2, d2 := run()
+	if s1 != s2 || d1 != d2 {
+		t.Errorf("non-deterministic: (%d,%d) vs (%d,%d)", s1, d1, s2, d2)
+	}
+}
+
+func TestGhostsNeverRegistered(t *testing.T) {
+	w := New(tinyConfig(3))
+	w.Run()
+	for _, g := range w.Ghosts {
+		if w.Registries[g.TLD].InZone(g.Name) {
+			t.Errorf("ghost %s is in the zone", g.Name)
+		}
+		if _, ok := w.Registries[g.TLD].Lookup(g.Name); ok {
+			t.Errorf("ghost %s has a ledger entry", g.Name)
+		}
+	}
+}
+
+func TestCertsRequireZonePresence(t *testing.T) {
+	// Every CT entry for a non-ghost domain must have been logged at or
+	// after the moment its domain could have entered the zone.
+	w := New(tinyConfig(4))
+	w.Run()
+	ghosts := make(map[string]bool)
+	for _, g := range w.Ghosts {
+		ghosts[g.Name] = true
+	}
+	checked := 0
+	for _, log := range w.Logs {
+		entries, err := log.Range(0, log.Size())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			d := w.Domains[e.CN]
+			if d == nil || ghosts[e.CN] {
+				continue
+			}
+			if e.Logged.Before(d.Created) {
+				t.Fatalf("%s logged %v before creation %v", e.CN, e.Logged, d.Created)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no non-ghost entries checked")
+	}
+}
+
+func TestProbeBackend(t *testing.T) {
+	w := New(tinyConfig(5))
+	// Find a long-lived domain, run past its creation, then probe.
+	var target *Domain
+	for _, d := range w.Domains {
+		if !d.FastDelete && d.Lifetime == 0 && d.TLD == "com" {
+			if target == nil || d.Created.Before(target.Created) {
+				target = d
+			}
+		}
+	}
+	if target == nil {
+		t.Skip("no long-lived com domain at this scale")
+	}
+	w.Clock.RunUntil(target.Created.Add(2 * time.Minute))
+	backend := w.ProbeBackend()
+	ns, ok := backend.AuthoritativeNS(target.Name)
+	if !ok || len(ns) == 0 {
+		t.Fatalf("AuthoritativeNS(%s) = %v, %v", target.Name, ns, ok)
+	}
+	if addrs := backend.LookupA(target.Name); len(addrs) != 1 {
+		t.Fatalf("LookupA(%s) = %v", target.Name, addrs)
+	}
+	if addrs := backend.LookupAAAA(target.Name); addrs != nil {
+		t.Fatal("AAAA should be empty in this world")
+	}
+	if _, ok := backend.AuthoritativeNS("never-exists.com"); ok {
+		t.Fatal("unknown domain resolved")
+	}
+	w.Stop()
+}
+
+func TestPlansMatchPaperTotals(t *testing.T) {
+	plans := PaperPlans()
+	var ct, zone, trans int
+	for _, p := range plans {
+		ct += p.CTTotal()
+		zone += p.ZoneNRDs
+		trans += p.TransientTotal()
+	}
+	// Paper totals: 6,835,849 CT NRDs; 16,292,141 zone NRDs; 68,042
+	// transients.
+	if ct < 6_700_000 || ct > 6_950_000 {
+		t.Errorf("CT total = %d, want ≈6.84M", ct)
+	}
+	if zone < 16_000_000 || zone > 16_600_000 {
+		t.Errorf("zone total = %d, want ≈16.29M", zone)
+	}
+	if trans < 66_000 || trans > 70_000 {
+		t.Errorf("transient total = %d, want ≈68k", trans)
+	}
+}

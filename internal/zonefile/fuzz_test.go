@@ -1,0 +1,31 @@
+package zonefile
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzParser feeds arbitrary text through the master-file parser: every
+// input must terminate with records or an error, never panic or loop.
+func FuzzParser(f *testing.F) {
+	f.Add(sampleZone)
+	f.Add("$ORIGIN com.\nx 60 IN A 192.0.2.1\n")
+	f.Add("x.com. IN SOA a. b. (1 2 3 4 5)\n")
+	f.Add(`x.com. 60 IN TXT "unterminated`)
+	f.Add("(((((")
+	f.Add(";;;; only comments\n\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p := New(strings.NewReader(src))
+		for i := 0; i < 10_000; i++ {
+			_, err := p.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+		t.Fatalf("parser yielded 10k records from %d bytes of input", len(src))
+	})
+}

@@ -1,0 +1,231 @@
+// Package zonefile implements a streaming RFC 1035 master-file parser and
+// writer. The parser is pull-based over a bufio.Reader and holds only the
+// current entry in memory, so multi-gigabyte TLD zone files (the CZDS
+// snapshots DarkDNS consumes) stream in constant space.
+//
+// Supported master-file syntax: ';' comments, '(' ')' multi-line grouping,
+// quoted character strings, $ORIGIN and $TTL directives, '@' owner,
+// blank-owner inheritance, and relative names qualified by the origin.
+package zonefile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// tokenKind discriminates lexer output.
+type tokenKind uint8
+
+const (
+	tokText    tokenKind = iota // bare or quoted string
+	tokNewline                  // end of a logical line (outside parens)
+	tokEOF
+)
+
+type token struct {
+	kind   tokenKind
+	text   string
+	quoted bool
+	line   int
+	// ownerPos is true when the token is the first on its physical line
+	// and no whitespace preceded it, i.e. it sits in owner position.
+	ownerPos bool
+}
+
+// lexer streams tokens from a master file, flattening parenthesized groups
+// into a single logical line.
+type lexer struct {
+	r      *bufio.Reader
+	line   int
+	parens int
+	// atLineStart tracks whether the next text token begins a physical line.
+	atLineStart  bool
+	startedBlank bool
+	err          error
+}
+
+func newLexer(r io.Reader) *lexer {
+	return &lexer{r: bufio.NewReaderSize(r, 64<<10), line: 1, atLineStart: true}
+}
+
+// errSyntax wraps lexical/syntactic errors with a line number.
+type errSyntax struct {
+	line int
+	msg  string
+}
+
+func (e *errSyntax) Error() string { return fmt.Sprintf("zonefile: line %d: %s", e.line, e.msg) }
+
+// next returns the next token. After tokEOF it keeps returning tokEOF.
+func (l *lexer) next() (token, error) {
+	if l.err != nil {
+		return token{kind: tokEOF}, l.err
+	}
+	for {
+		c, err := l.r.ReadByte()
+		if err == io.EOF {
+			if l.parens > 0 {
+				l.err = &errSyntax{l.line, "unclosed parenthesis"}
+				return token{kind: tokEOF}, l.err
+			}
+			return token{kind: tokEOF, line: l.line}, nil
+		}
+		if err != nil {
+			l.err = err
+			return token{kind: tokEOF}, err
+		}
+		switch c {
+		case ' ', '\t', '\r':
+			if l.atLineStart {
+				l.startedBlank = true
+			}
+			continue
+		case '\n':
+			l.line++
+			wasStart := l.atLineStart
+			l.atLineStart = true
+			l.startedBlank = false
+			if l.parens > 0 || wasStart {
+				continue // blank line or inside parens: no token
+			}
+			return token{kind: tokNewline, line: l.line - 1}, nil
+		case ';':
+			if err := l.skipComment(); err != nil {
+				return token{kind: tokEOF}, err
+			}
+			continue
+		case '(':
+			l.parens++
+			l.atLineStart = false
+			continue
+		case ')':
+			if l.parens == 0 {
+				l.err = &errSyntax{l.line, "unbalanced ')'"}
+				return token{kind: tokEOF}, l.err
+			}
+			l.parens--
+			continue
+		case '"':
+			ownerPos := l.atLineStart && !l.startedBlank && l.parens == 0
+			l.atLineStart = false
+			l.startedBlank = false
+			t, err := l.quoted()
+			t.ownerPos = ownerPos
+			return t, err
+		default:
+			return l.bare(c)
+		}
+	}
+}
+
+// skipComment consumes to (not including) the newline.
+func (l *lexer) skipComment() error {
+	for {
+		c, err := l.r.ReadByte()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			l.err = err
+			return err
+		}
+		if c == '\n' {
+			return l.r.UnreadByte()
+		}
+	}
+}
+
+// quoted reads a "..." character string with \-escapes.
+func (l *lexer) quoted() (token, error) {
+	var sb strings.Builder
+	for {
+		c, err := l.r.ReadByte()
+		if err != nil {
+			l.err = &errSyntax{l.line, "unterminated quoted string"}
+			return token{kind: tokEOF}, l.err
+		}
+		switch c {
+		case '"':
+			return token{kind: tokText, text: sb.String(), quoted: true, line: l.line}, nil
+		case '\\':
+			e, err := l.r.ReadByte()
+			if err != nil {
+				l.err = &errSyntax{l.line, "dangling escape"}
+				return token{kind: tokEOF}, l.err
+			}
+			sb.WriteByte(e)
+		case '\n':
+			l.err = &errSyntax{l.line, "newline in quoted string"}
+			return token{kind: tokEOF}, l.err
+		default:
+			sb.WriteByte(c)
+		}
+	}
+}
+
+// bare reads an unquoted token beginning with first.
+func (l *lexer) bare(first byte) (token, error) {
+	ownerPos := l.atLineStart && !l.startedBlank && l.parens == 0
+	l.atLineStart = false
+	l.startedBlank = false
+	var sb strings.Builder
+	sb.WriteByte(first)
+	for {
+		c, err := l.r.ReadByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			l.err = err
+			return token{kind: tokEOF}, err
+		}
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == ';' || c == '(' || c == ')' || c == '"' {
+			if uerr := l.r.UnreadByte(); uerr != nil {
+				l.err = uerr
+				return token{kind: tokEOF}, uerr
+			}
+			break
+		}
+		if c == '\\' {
+			e, err := l.r.ReadByte()
+			if err != nil {
+				l.err = &errSyntax{l.line, "dangling escape"}
+				return token{kind: tokEOF}, l.err
+			}
+			sb.WriteByte(e)
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	return token{kind: tokText, text: sb.String(), line: l.line, ownerPos: ownerPos}, nil
+}
+
+// logicalLine collects the tokens of one logical line (parens flattened).
+// ownerPresent is false when the physical line began with whitespace.
+func (l *lexer) logicalLine() (fields []token, ownerPresent bool, err error) {
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, false, err
+		}
+		switch t.kind {
+		case tokEOF:
+			if len(fields) == 0 {
+				return nil, false, io.EOF
+			}
+			return fields, ownerPresent, nil
+		case tokNewline:
+			if len(fields) == 0 {
+				continue // empty logical line
+			}
+			return fields, ownerPresent, nil
+		default:
+			if len(fields) == 0 {
+				ownerPresent = t.ownerPos
+			}
+			fields = append(fields, t)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package zonefile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"darkdns/internal/dnsmsg"
+	"darkdns/internal/dnsname"
+)
+
+// Writer emits records in master-file presentation form. It writes owners
+// relative to the configured origin to keep large TLD zone files compact,
+// mirroring how registries publish CZDS snapshots.
+type Writer struct {
+	w      *bufio.Writer
+	origin string
+	wrote  bool
+}
+
+// NewWriter creates a Writer. If origin is non-empty, a $ORIGIN directive
+// is emitted before the first record and owners under the origin are
+// written relative to it.
+func NewWriter(w io.Writer, origin string) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 64<<10), origin: dnsname.Canonical(origin)}
+}
+
+// WriteComment emits a ';' comment line.
+func (zw *Writer) WriteComment(text string) error {
+	_, err := fmt.Fprintf(zw.w, "; %s\n", text)
+	return err
+}
+
+// WriteRecord emits one record.
+func (zw *Writer) WriteRecord(r *dnsmsg.Record) error {
+	if !zw.wrote {
+		zw.wrote = true
+		if zw.origin != "" {
+			if _, err := fmt.Fprintf(zw.w, "$ORIGIN %s.\n", zw.origin); err != nil {
+				return err
+			}
+		}
+	}
+	owner := zw.rel(r.Name)
+	var rd string
+	switch r.Type {
+	case dnsmsg.TypeA:
+		rd = r.A.String()
+	case dnsmsg.TypeAAAA:
+		rd = r.AAAA.String()
+	case dnsmsg.TypeNS:
+		rd = zw.rel(r.NS)
+	case dnsmsg.TypeCNAME:
+		rd = zw.rel(r.CNAME)
+	case dnsmsg.TypeSOA:
+		rd = fmt.Sprintf("%s %s %d %d %d %d %d", zw.rel(r.SOA.MName), zw.rel(r.SOA.RName),
+			r.SOA.Serial, r.SOA.Refresh, r.SOA.Retry, r.SOA.Expire, r.SOA.Minimum)
+	case dnsmsg.TypeMX:
+		rd = fmt.Sprintf("%d %s", r.MX.Preference, zw.rel(r.MX.Exchange))
+	case dnsmsg.TypeTXT:
+		parts := make([]string, len(r.TXT))
+		for i, s := range r.TXT {
+			parts[i] = quoteTXT(s)
+		}
+		rd = strings.Join(parts, " ")
+	default:
+		return fmt.Errorf("zonefile: cannot write record type %s", r.Type)
+	}
+	_, err := fmt.Fprintf(zw.w, "%s\t%d\tIN\t%s\t%s\n", owner, r.TTL, r.Type, rd)
+	return err
+}
+
+// Flush drains buffered output to the underlying writer.
+func (zw *Writer) Flush() error { return zw.w.Flush() }
+
+// rel renders name relative to the origin when possible, otherwise as an
+// absolute name with a trailing dot.
+func (zw *Writer) rel(name string) string {
+	name = dnsname.Canonical(name)
+	if name == "" {
+		return "."
+	}
+	if zw.origin != "" {
+		if name == zw.origin {
+			return "@"
+		}
+		if rest, found := strings.CutSuffix(name, "."+zw.origin); found {
+			return rest
+		}
+	}
+	return name + "."
+}
+
+func quoteTXT(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' || s[i] == '\\' {
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(s[i])
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}

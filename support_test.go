@@ -1,0 +1,16 @@
+package darkdns
+
+import (
+	"context"
+
+	"darkdns/internal/rdap"
+)
+
+// nullQuerier satisfies rdap.Querier for ingest benchmarks where RDAP
+// outcomes are irrelevant.
+type nullQuerier struct{}
+
+// Domain implements rdap.Querier.
+func (nullQuerier) Domain(_ context.Context, _ string) (*rdap.Record, error) {
+	return nil, rdap.ErrNotFound
+}
