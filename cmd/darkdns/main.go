@@ -22,12 +22,16 @@ func main() {
 	scale := flag.Float64("scale", 0.002, "fraction of paper volume to simulate")
 	weeks := flag.Int("weeks", 4, "observation window length in weeks")
 	seed := flag.Int64("seed", 1, "world seed")
+	ingestWorkers := flag.Int("ingest-workers", 0, "pipeline ingest mode: 0 = per-event, ≥1 = batched with this screening pool width (same results either way)")
 	verbose := flag.Bool("v", false, "print every confirmed transient domain")
 	export := flag.String("export", "", "write candidates to this file in columnar format")
 	flag.Parse()
 
 	start := time.Now()
-	res := analysis.Run(analysis.RunConfig{Seed: *seed, Scale: *scale, Weeks: *weeks, WatchSampleRate: 1.0})
+	res := analysis.Run(analysis.RunConfig{
+		Seed: *seed, Scale: *scale, Weeks: *weeks, WatchSampleRate: 1.0,
+		IngestWorkers: *ingestWorkers,
+	})
 	fmt.Printf("simulated %d weeks at scale %g in %v\n", *weeks, *scale, time.Since(start).Round(time.Millisecond))
 
 	cands := res.Pipeline.Candidates()

@@ -33,6 +33,7 @@ func main() {
 	scale := flag.Float64("scale", 0.0005, "fraction of paper volume to simulate")
 	tick := flag.Duration("tick", 500*time.Millisecond, "wall-clock interval per simulated hour")
 	seed := flag.Int64("seed", 1, "world seed")
+	ingestWorkers := flag.Int("ingest-workers", 0, "pipeline ingest mode: 0 = per-event, ≥1 = micro-batched with this screening pool width")
 	flag.Parse()
 
 	w := worldsim.New(worldsim.DefaultConfig(*seed, *scale))
@@ -41,9 +42,15 @@ func main() {
 	fleetCfg := measure.DefaultConfig()
 	fleetCfg.StopWhenDead = true
 	fleet := measure.NewFleet(fleetCfg, w.Clock, w.ProbeBackend())
-	p := core.New(core.DefaultConfig(start, end), w.Clock, psl.Default(), w.CZDS,
+	pcfg := core.DefaultConfig(start, end)
+	pcfg.IngestWorkers = *ingestWorkers
+	p := core.New(pcfg, w.Clock, psl.Default(), w.CZDS,
 		core.MuxQuerier{Mux: w.RDAP}, fleet, bus, *seed+100)
-	p.Start(w.Hub)
+	if *ingestWorkers > 0 {
+		p.StartBatched(w.Hub)
+	} else {
+		p.Start(w.Hub)
+	}
 
 	srv := feed.NewServer(bus.Topic("nrd-feed"))
 	addr, err := srv.Serve(*listen)

@@ -26,14 +26,16 @@ func main() {
 	weeks := flag.Int("weeks", 13, "observation window length in weeks (paper: 13)")
 	seed := flag.Int64("seed", 1, "world seed (runs are deterministic per seed)")
 	watch := flag.Float64("watch-sample", 1.0, "fraction of candidates probed by the fleet")
+	ingestWorkers := flag.Int("ingest-workers", 0, "pipeline ingest mode: 0 = per-event, ≥1 = batched with this screening pool width (byte-identical output either way)")
 	exp := flag.String("exp", "all", "experiment to run (table1..table5, figure1, figure2, nsstability, rdapfail, blocklists, nod, cctld, rzu, mail, all)")
 	csvDir := flag.String("csv", "", "directory to write figure CSVs for external plotting")
 	flag.Parse()
 
-	fmt.Fprintf(os.Stderr, "building world (scale=%g, weeks=%d, seed=%d)…\n", *scale, *weeks, *seed)
+	fmt.Fprintf(os.Stderr, "building world (scale=%g, weeks=%d, seed=%d, ingest-workers=%d)…\n", *scale, *weeks, *seed, *ingestWorkers)
 	start := time.Now()
 	res := analysis.Run(analysis.RunConfig{
 		Seed: *seed, Scale: *scale, Weeks: *weeks, WatchSampleRate: *watch, ProbeMail: true,
+		IngestWorkers: *ingestWorkers,
 	})
 	fmt.Fprintf(os.Stderr, "simulation complete in %v: %d candidates, %d transient lower bound\n\n",
 		time.Since(start).Round(time.Millisecond), res.Pipeline.Len(), len(res.Report.LowerBound))

@@ -1,0 +1,3 @@
+module darkdns
+
+go 1.24

@@ -35,6 +35,13 @@ type RunConfig struct {
 	WatchSampleRate float64
 	// ProbeMail enables the future-work MX/SPF probes (§5).
 	ProbeMail bool
+	// IngestWorkers selects the pipeline's ingest mode: 0 subscribes
+	// per-event (the serial path), ≥1 subscribes in micro-batching mode
+	// with that screening worker-pool width. Campaign results are
+	// byte-identical across modes for a fixed seed (the pipeline's
+	// per-domain decision derivation guarantees it; the determinism
+	// tests assert it).
+	IngestWorkers int
 }
 
 // DefaultRunConfig is sized for test and example runs: ≈1/500 of paper
@@ -63,8 +70,15 @@ func Run(cfg RunConfig) *Results {
 	fleetCfg.ProbeMail = cfg.ProbeMail
 	fleet := measure.NewFleet(fleetCfg, w.Clock, w.ProbeBackend())
 	bus := stream.NewBus()
+	if cfg.IngestWorkers > 0 {
+		pcfg.IngestWorkers = cfg.IngestWorkers
+	}
 	p := core.New(pcfg, w.Clock, psl.Default(), w.CZDS, core.MuxQuerier{Mux: w.RDAP}, fleet, bus, cfg.Seed+100)
-	p.Start(w.Hub)
+	if cfg.IngestWorkers > 0 {
+		p.StartBatched(w.Hub)
+	} else {
+		p.Start(w.Hub)
+	}
 	w.Run()
 	p.Stop()
 

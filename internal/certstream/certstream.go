@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"darkdns/internal/ct"
@@ -26,11 +27,23 @@ type Event struct {
 	Entry ct.Entry  `json:"entry"`
 }
 
+// hubSub is one registered subscriber.
+type hubSub struct {
+	id int64
+	fn func(Event)
+}
+
 // Hub fans CT log entries out to subscribers. It is the in-process feed
 // used by the simulation; Server wraps it for network delivery.
+//
+// The subscriber list is copy-on-write: Subscribe and unsubscribe (rare)
+// rebuild it under mu, while publish (the per-certificate hot path) loads
+// it atomically — no lock is held during subscriber callbacks and fan-out
+// allocates nothing, so one slow subscriber never serializes the others'
+// registration and parallel feeders never contend.
 type Hub struct {
 	mu     sync.Mutex
-	subs   map[int64]func(Event)
+	subs   atomic.Pointer[[]hubSub]
 	nextID int64
 	// PrecertOnly drops final-certificate entries, matching the paper's
 	// methodology (footnote 1).
@@ -39,7 +52,7 @@ type Hub struct {
 
 // NewHub creates a hub that forwards precertificate entries only.
 func NewHub() *Hub {
-	return &Hub{subs: make(map[int64]func(Event)), PrecertOnly: true}
+	return &Hub{PrecertOnly: true}
 }
 
 // Attach subscribes the hub to a CT log. now supplies feed-observation
@@ -66,16 +79,31 @@ func (h *Hub) Poll(ctx context.Context, logName string, client *ct.Client, start
 	})
 }
 
-// publish delivers ev to all subscribers synchronously.
+// publish delivers ev to all subscribers synchronously, without holding
+// the hub lock during callbacks.
 func (h *Hub) publish(ev Event) {
-	h.mu.Lock()
-	subs := make([]func(Event), 0, len(h.subs))
-	for _, fn := range h.subs {
-		subs = append(subs, fn)
+	if subs := h.subs.Load(); subs != nil {
+		for _, s := range *subs {
+			s.fn(ev)
+		}
 	}
-	h.mu.Unlock()
-	for _, fn := range subs {
-		fn(ev)
+}
+
+// PublishBatch delivers a slice of events in order. The subscriber list
+// is resolved once for the whole batch, so replay tools and batch
+// feeders amortize the fan-out setup across events.
+func (h *Hub) PublishBatch(evs []Event) {
+	subs := h.subs.Load()
+	if subs == nil {
+		return
+	}
+	for _, ev := range evs {
+		if h.PrecertOnly && ev.Entry.Kind != ct.PreCertificate {
+			continue
+		}
+		for _, s := range *subs {
+			s.fn(ev)
+		}
 	}
 }
 
@@ -84,12 +112,29 @@ func (h *Hub) Subscribe(fn func(Event)) (cancel func()) {
 	h.mu.Lock()
 	id := h.nextID
 	h.nextID++
-	h.subs[id] = fn
+	var cur []hubSub
+	if p := h.subs.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]hubSub, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = hubSub{id: id, fn: fn}
+	h.subs.Store(&next)
 	h.mu.Unlock()
 	return func() {
 		h.mu.Lock()
-		delete(h.subs, id)
-		h.mu.Unlock()
+		defer h.mu.Unlock()
+		p := h.subs.Load()
+		if p == nil {
+			return
+		}
+		next := make([]hubSub, 0, len(*p))
+		for _, s := range *p {
+			if s.id != id {
+				next = append(next, s)
+			}
+		}
+		h.subs.Store(&next)
 	}
 }
 

@@ -14,6 +14,15 @@
 // registration time (within 24 hours).
 // Step 5: after the window closes, label as transient every candidate
 // that never appeared in any zone snapshot (±3 days slack).
+//
+// Concurrency model (DESIGN.md §5): the candidate store is striped over
+// independent locks, zone-presence reads are lock-free (czds), and
+// HandleBatch screens events through the PSL and zone filter on a worker
+// pool. Every per-candidate random decision (RDAP queueing delay, failure
+// injection, watch sampling) is drawn from a generator derived from the
+// pipeline seed and the domain name alone, so outcomes are identical no
+// matter how events are batched or which worker screens them — serial and
+// parallel ingest produce byte-identical campaign reports.
 package core
 
 import (
@@ -23,6 +32,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"darkdns/internal/certstream"
@@ -46,7 +56,10 @@ type Config struct {
 	// candidate to count as a validated NRD (paper: 24 h).
 	ValidationWindow time.Duration
 	// RDAPDelay samples the queueing delay between detection and the
-	// RDAP query (Azure worker dispatch in the paper).
+	// RDAP query (Azure worker dispatch in the paper). The generator
+	// passed in is derived from the pipeline seed and the candidate's
+	// domain, so the sampled delay is reproducible independent of event
+	// order.
 	RDAPDelay func(rng *rand.Rand) time.Duration
 	// RDAPFailureRate injects collection errors (rate limiting, worker
 	// failures — the paper's ≈3 %).
@@ -57,7 +70,18 @@ type Config struct {
 	WatchSampleRate float64
 	// FeedTopic is the stream topic name for the public NRD feed.
 	FeedTopic string
+	// IngestWorkers sets the worker-pool width HandleBatch screens
+	// events with (PSL extraction + zone filter). 0 or 1 screens on the
+	// calling goroutine.
+	IngestWorkers int
+	// IngestBatch caps the micro-batcher's buffer (StartBatched): once
+	// this many events are pending the batch is handed off inline
+	// without waiting for the flush timer. 0 means DefaultIngestBatch.
+	IngestBatch int
 }
+
+// DefaultIngestBatch is the micro-batcher's default maximum batch size.
+const DefaultIngestBatch = 256
 
 // DefaultConfig returns the paper's parameters over [start, end).
 func DefaultConfig(start, end time.Time) Config {
@@ -125,6 +149,17 @@ type Candidate struct {
 // DetectionDelay is SeenAt − Registered for validated candidates.
 func (c *Candidate) DetectionDelay() time.Duration { return c.SeenAt.Sub(c.Registered) }
 
+// candShards is the stripe count of the candidate store. Power of two
+// for cheap masking; 64 stripes keep admissions, RDAP completions and
+// report reads from serializing on one lock at ingest rates.
+const candShards = 64
+
+// candShard is one stripe of the candidate store.
+type candShard struct {
+	mu         sync.Mutex
+	candidates map[string]*Candidate
+}
+
 // Pipeline is the DarkDNS measurement pipeline.
 type Pipeline struct {
 	cfg   Config
@@ -133,13 +168,19 @@ type Pipeline struct {
 	zones *czds.Service
 	rdapQ rdap.Querier
 	fleet *measure.Fleet
-	rng   *rand.Rand
+	seed  int64
 
 	feed *stream.Topic
 
-	mu         sync.Mutex
-	candidates map[string]*Candidate
-	unsub      func()
+	shards [candShards]candShard
+	count  atomic.Int64
+
+	// Micro-batcher state (StartBatched).
+	batchMu    sync.Mutex
+	batchBuf   []certstream.Event
+	flushArmed bool
+
+	unsub func()
 }
 
 // New assembles a pipeline. bus may be nil when no feed publication is
@@ -158,10 +199,15 @@ func New(cfg Config, clk simclock.Clock, pslList *psl.List, zones *czds.Service,
 	if cfg.FeedTopic == "" {
 		cfg.FeedTopic = "nrd-feed"
 	}
+	if cfg.IngestBatch <= 0 {
+		cfg.IngestBatch = DefaultIngestBatch
+	}
 	p := &Pipeline{
 		cfg: cfg, clk: clk, psl: pslList, zones: zones, rdapQ: rdapQ,
-		fleet: fleet, rng: rand.New(rand.NewSource(seed)),
-		candidates: make(map[string]*Candidate),
+		fleet: fleet, seed: seed,
+	}
+	for i := range p.shards {
+		p.shards[i].candidates = make(map[string]*Candidate)
 	}
 	if bus != nil {
 		p.feed = bus.Topic(cfg.FeedTopic)
@@ -169,48 +215,218 @@ func New(cfg Config, clk simclock.Clock, pslList *psl.List, zones *czds.Service,
 	return p
 }
 
-// Start subscribes the pipeline to the certstream hub. Call Stop to
-// detach.
+// shard maps a domain to its store stripe.
+func (p *Pipeline) shard(domain string) *candShard {
+	return &p.shards[dnsname.Hash64(domain)&(candShards-1)]
+}
+
+// splitmix64 is a tiny rand.Source64: each call advances a Weyl sequence
+// and whitens it. It replaces the stock 4.9 KB shuffled-linear source for
+// per-candidate decision draws, where a fresh generator is created per
+// admission.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	x := uint64(*s)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (s *splitmix64) Uint64() uint64  { return s.next() }
+func (s *splitmix64) Int63() int64    { return int64(s.next() >> 1) }
+func (s *splitmix64) Seed(seed int64) { *s = splitmix64(seed) }
+
+// domainRand derives the candidate's decision generator from the pipeline
+// seed and the domain name. Because the derivation ignores event arrival
+// order, every ingest mode draws identical decisions for a given
+// (seed, domain) pair — the property the serial/parallel determinism
+// guarantee rests on.
+func (p *Pipeline) domainRand(domain string) *rand.Rand {
+	src := splitmix64(dnsname.Hash64(domain) ^ uint64(p.seed))
+	return rand.New(&src)
+}
+
+// Start subscribes the pipeline to the certstream hub, handling each
+// event as it is delivered. Call Stop to detach.
 func (p *Pipeline) Start(hub *certstream.Hub) {
 	p.unsub = hub.Subscribe(p.HandleEvent)
 }
 
-// Stop detaches from the hub.
+// StartBatched subscribes the pipeline to the certstream hub in
+// micro-batching mode: delivered events accumulate in a buffer that is
+// flushed through HandleBatch — immediately once cfg.IngestBatch events
+// are pending, otherwise by a zero-delay timer on the pipeline's clock.
+// Under the simulated clock the flush fires at the same instant the
+// events were delivered (after the current dispatch completes), so
+// batched campaigns reproduce per-event campaigns exactly; under the real
+// clock arrivals during a flush coalesce into the next batch, which is
+// the classic notify-and-drain amortization.
+func (p *Pipeline) StartBatched(hub *certstream.Hub) {
+	p.unsub = hub.Subscribe(p.enqueue)
+}
+
+// enqueue buffers one event for the next flush.
+func (p *Pipeline) enqueue(ev certstream.Event) {
+	p.batchMu.Lock()
+	p.batchBuf = append(p.batchBuf, ev)
+	if len(p.batchBuf) >= p.cfg.IngestBatch {
+		buf := p.batchBuf
+		p.batchBuf = nil
+		p.batchMu.Unlock()
+		p.HandleBatch(buf)
+		return
+	}
+	if !p.flushArmed {
+		p.flushArmed = true
+		p.batchMu.Unlock()
+		p.clk.After(0, p.Flush)
+		return
+	}
+	p.batchMu.Unlock()
+}
+
+// Flush drains the micro-batcher's buffer through HandleBatch. It is
+// exported for replay tools that need a hard batch boundary; Stop calls
+// it automatically.
+func (p *Pipeline) Flush() {
+	p.batchMu.Lock()
+	buf := p.batchBuf
+	p.batchBuf = nil
+	p.flushArmed = false
+	p.batchMu.Unlock()
+	if len(buf) > 0 {
+		p.HandleBatch(buf)
+	}
+}
+
+// Stop detaches from the hub and flushes any buffered events.
 func (p *Pipeline) Stop() {
 	if p.unsub != nil {
 		p.unsub()
 		p.unsub = nil
 	}
+	p.Flush()
 }
 
 // HandleEvent processes one certstream event (step 1). Exported so tests
-// and replay tools can feed events directly.
+// and replay tools can feed events directly; safe for concurrent use.
 func (p *Pipeline) HandleEvent(ev certstream.Event) {
 	for _, name := range ev.Entry.Names() {
-		domain, ok := p.psl.RegisteredDomain(name)
+		domain, ok := p.screenName(name)
 		if !ok {
 			continue
 		}
-		if dnsname.Check(domain) != nil {
+		cand, admitted := p.admit(domain, ev)
+		if !admitted {
 			continue
 		}
-		p.consider(domain, ev)
+		if p.feed != nil {
+			p.feed.Publish(ev.Seen, domain, feedJSON(domain, ev))
+		}
+		p.dispatch(cand)
 	}
 }
 
-// consider applies the not-in-latest-snapshot filter and admits a new
-// candidate.
-func (p *Pipeline) consider(domain string, ev certstream.Event) {
-	p.mu.Lock()
-	if _, dup := p.candidates[domain]; dup {
-		p.mu.Unlock()
+// HandleBatch processes a slice of certstream events. Screening — PSL
+// extraction, name hygiene, the not-in-latest-snapshot zone filter — runs
+// on cfg.IngestWorkers goroutines; admission, feed publication, RDAP
+// scheduling and fleet dispatch then run serially in input order, which
+// pins every order-sensitive side effect (feed offsets, clock scheduling)
+// to the event sequence regardless of worker interleaving. Safe for
+// concurrent use.
+func (p *Pipeline) HandleBatch(evs []certstream.Event) {
+	if len(evs) == 0 {
 		return
 	}
-	p.mu.Unlock()
-
-	if p.zones.InLatest(domain) {
-		return // already visible in zone files: not newly registered
+	// Stage 1: parallel screen. proposals[i] holds event i's admissible
+	// registered domains.
+	proposals := make([][]string, len(evs))
+	screen := func(i int) {
+		var doms []string
+		for _, name := range evs[i].Entry.Names() {
+			if domain, ok := p.screenName(name); ok {
+				doms = append(doms, domain)
+			}
+		}
+		proposals[i] = doms
 	}
+	workers := p.cfg.IngestWorkers
+	if workers > len(evs) {
+		workers = len(evs)
+	}
+	if workers <= 1 {
+		for i := range evs {
+			screen(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(evs) {
+						return
+					}
+					screen(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Stage 2: serial admission in input order.
+	var recs []stream.Record
+	for i, ev := range evs {
+		for _, domain := range proposals[i] {
+			cand, admitted := p.admit(domain, ev)
+			if !admitted {
+				continue
+			}
+			if p.feed != nil {
+				recs = append(recs, stream.Record{Time: ev.Seen, Key: domain, Value: feedJSON(domain, ev)})
+			}
+			p.dispatch(cand)
+		}
+	}
+	if p.feed != nil && len(recs) > 0 {
+		p.feed.PublishBatch(p.clk.Now(), recs)
+	}
+}
+
+// screenName maps one certificate name to an admissible registered
+// domain: PSL extraction, name hygiene, the zone filter, and an
+// optimistic duplicate probe (admit re-checks authoritatively). All reads
+// — the PSL is immutable, the zone view is a lock-free snapshot — so
+// screening parallelizes without contention.
+func (p *Pipeline) screenName(name string) (string, bool) {
+	domain, ok := p.psl.RegisteredDomain(name)
+	if !ok {
+		return "", false
+	}
+	if dnsname.Check(domain) != nil {
+		return "", false
+	}
+	sh := p.shard(domain)
+	sh.mu.Lock()
+	_, dup := sh.candidates[domain]
+	sh.mu.Unlock()
+	if dup {
+		return "", false
+	}
+	if p.zones.InLatest(domain) {
+		return "", false // already visible in zone files: not newly registered
+	}
+	return domain, true
+}
+
+// admit inserts domain into the candidate store unless a concurrent or
+// earlier event won the race.
+func (p *Pipeline) admit(domain string, ev certstream.Event) (*Candidate, bool) {
 	cand := &Candidate{
 		Domain: domain,
 		TLD:    dnsname.TLD(domain),
@@ -218,40 +434,53 @@ func (p *Pipeline) consider(domain string, ev certstream.Event) {
 		CTLog:  ev.Log,
 		Issuer: ev.Entry.Issuer,
 	}
-	p.mu.Lock()
-	if _, dup := p.candidates[domain]; dup {
-		p.mu.Unlock()
-		return
+	sh := p.shard(domain)
+	sh.mu.Lock()
+	if _, dup := sh.candidates[domain]; dup {
+		sh.mu.Unlock()
+		return nil, false
 	}
-	p.candidates[domain] = cand
-	p.mu.Unlock()
+	sh.candidates[domain] = cand
+	sh.mu.Unlock()
+	p.count.Add(1)
+	return cand, true
+}
 
-	if p.feed != nil {
-		p.feed.Publish(ev.Seen, domain, []byte(fmt.Sprintf(`{"domain":%q,"seen":%q,"log":%q}`,
-			domain, ev.Seen.UTC().Format(time.RFC3339), ev.Log)))
-	}
-
-	// Step 2: RDAP after worker-queue delay, one attempt only.
+// dispatch runs steps 2 and 3 for a freshly admitted candidate: RDAP
+// after a queueing delay (one attempt only) and the reactive measurement
+// watch, with all random decisions drawn from the candidate's derived
+// generator.
+func (p *Pipeline) dispatch(cand *Candidate) {
+	rng := p.domainRand(cand.Domain)
 	delay := time.Duration(0)
 	if p.cfg.RDAPDelay != nil {
-		delay = p.cfg.RDAPDelay(p.rng)
+		delay = p.cfg.RDAPDelay(rng)
 	}
-	fail := p.rng.Float64() < p.cfg.RDAPFailureRate
+	fail := rng.Float64() < p.cfg.RDAPFailureRate
 	p.clk.After(delay, func() { p.collectRDAP(cand, fail) })
 
-	// Step 3: reactive measurements.
-	if p.fleet != nil && p.rng.Float64() < p.cfg.WatchSampleRate {
+	if p.fleet != nil && rng.Float64() < p.cfg.WatchSampleRate {
+		sh := p.shard(cand.Domain)
+		sh.mu.Lock()
 		cand.Watched = true
-		p.fleet.Watch(domain)
+		sh.mu.Unlock()
+		p.fleet.Watch(cand.Domain)
 	}
+}
+
+// feedJSON renders the NRD feed message for an admission.
+func feedJSON(domain string, ev certstream.Event) []byte {
+	return []byte(fmt.Sprintf(`{"domain":%q,"seen":%q,"log":%q}`,
+		domain, ev.Seen.UTC().Format(time.RFC3339), ev.Log))
 }
 
 // collectRDAP performs step 2 and the step 4 validation.
 func (p *Pipeline) collectRDAP(cand *Candidate, injectedFailure bool) {
 	now := p.clk.Now()
-	p.mu.Lock()
+	sh := p.shard(cand.Domain)
+	sh.mu.Lock()
 	cand.RDAPAt = now
-	p.mu.Unlock()
+	sh.mu.Unlock()
 	if injectedFailure {
 		p.setRDAP(cand, RDAPError, nil)
 		return
@@ -270,8 +499,9 @@ func (p *Pipeline) collectRDAP(cand *Candidate, injectedFailure bool) {
 }
 
 func (p *Pipeline) setRDAP(cand *Candidate, outcome RDAPOutcome, rec *rdap.Record) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	sh := p.shard(cand.Domain)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	cand.RDAPOutcome = outcome
 	if rec != nil {
 		cand.Registrar = rec.Registrar
@@ -286,11 +516,14 @@ func (p *Pipeline) setRDAP(cand *Candidate, outcome RDAPOutcome, rec *rdap.Recor
 
 // Candidates returns copies of all candidates, sorted by domain.
 func (p *Pipeline) Candidates() []Candidate {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make([]Candidate, 0, len(p.candidates))
-	for _, c := range p.candidates {
-		out = append(out, *c)
+	out := make([]Candidate, 0, p.Len())
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, c := range sh.candidates {
+			out = append(out, *c)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
 	return out
@@ -298,9 +531,11 @@ func (p *Pipeline) Candidates() []Candidate {
 
 // Candidate returns a copy of one candidate.
 func (p *Pipeline) Candidate(domain string) (Candidate, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	c, ok := p.candidates[dnsname.Canonical(domain)]
+	domain = dnsname.Canonical(domain)
+	sh := p.shard(domain)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c, ok := sh.candidates[domain]
 	if !ok {
 		return Candidate{}, false
 	}
@@ -309,9 +544,7 @@ func (p *Pipeline) Candidate(domain string) (Candidate, bool) {
 
 // Len returns the number of candidates admitted.
 func (p *Pipeline) Len() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.candidates)
+	return int(p.count.Load())
 }
 
 // TransientReport is the step 5 output.
@@ -369,17 +602,20 @@ type Stats struct {
 // Summary computes current pipeline statistics.
 func (p *Pipeline) Summary() Stats {
 	s := Stats{ByOutcome: make(map[RDAPOutcome]int)}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, c := range p.candidates {
-		s.Candidates++
-		s.ByOutcome[c.RDAPOutcome]++
-		if c.Validated {
-			s.Validated++
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, c := range sh.candidates {
+			s.Candidates++
+			s.ByOutcome[c.RDAPOutcome]++
+			if c.Validated {
+				s.Validated++
+			}
+			if c.Watched {
+				s.Watched++
+			}
 		}
-		if c.Watched {
-			s.Watched++
-		}
+		sh.mu.Unlock()
 	}
 	return s
 }

@@ -15,13 +15,22 @@
 // rarely flap in and out of a zone), so the index answers the paper's
 // "did this domain EVER appear in our zone collection during the window"
 // test (§4.2) in O(1).
+//
+// Concurrency model: the collection is read on the pipeline's ingest hot
+// path (InLatest runs once per CT-extracted domain) but written only on
+// daily snapshot collection. Reads therefore go through an immutable view
+// swapped behind an atomic.Pointer — lock-free and contention-free no
+// matter how many ingest workers are filtering concurrently — while
+// writers pay a copy-on-write rebuild under a mutex (DESIGN.md §5).
 package czds
 
 import (
 	"errors"
 	"fmt"
+	"maps"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"darkdns/internal/dnsname"
@@ -46,22 +55,34 @@ type DiffStats struct {
 	Changed int64
 }
 
-// Service collects and serves zone snapshots.
-type Service struct {
-	mu     sync.RWMutex
+// view is one immutable generation of the collection. Readers load it
+// atomically and never see it change; Ingest builds a successor and swaps.
+type view struct {
 	latest map[string]*zoneset.Snapshot
 	seen   map[string]presence // domain → appearance interval
-	stats  map[string]*DiffStats
-	subs   []func(*zoneset.Snapshot)
+	stats  map[string]DiffStats
+}
+
+// emptyView is the generation before any collection.
+var emptyView = &view{
+	latest: map[string]*zoneset.Snapshot{},
+	seen:   map[string]presence{},
+	stats:  map[string]DiffStats{},
+}
+
+// Service collects and serves zone snapshots.
+type Service struct {
+	// mu serializes writers (Ingest, Subscribe); readers never take it.
+	mu   sync.Mutex
+	view atomic.Pointer[view]
+	subs []func(*zoneset.Snapshot)
 }
 
 // New creates an empty service.
 func New() *Service {
-	return &Service{
-		latest: make(map[string]*zoneset.Snapshot),
-		seen:   make(map[string]presence),
-		stats:  make(map[string]*DiffStats),
-	}
+	s := &Service{}
+	s.view.Store(emptyView)
+	return s
 }
 
 // Collect attaches the service to a registry's snapshot publications.
@@ -74,19 +95,23 @@ func (s *Service) Collect(reg *registry.Registry) {
 }
 
 // Ingest stores a published snapshot, updates the presence index and the
-// day-over-day diff statistics, and notifies subscribers.
+// day-over-day diff statistics, and notifies subscribers. The new
+// generation becomes visible to readers in one atomic swap; concurrent
+// readers keep the previous generation until their operation completes.
 func (s *Service) Ingest(snap *zoneset.Snapshot) {
 	s.mu.Lock()
-	prev := s.latest[snap.TLD]
-	st := s.stats[snap.TLD]
-	if st == nil {
-		st = &DiffStats{}
-		s.stats[snap.TLD] = st
+	cur := s.view.Load()
+	next := &view{
+		latest: maps.Clone(cur.latest),
+		seen:   maps.Clone(cur.seen),
+		stats:  maps.Clone(cur.stats),
 	}
+	prev := next.latest[snap.TLD]
+	st := next.stats[snap.TLD]
 	for _, dom := range snap.Domains() {
-		p, ok := s.seen[dom]
+		p, ok := next.seen[dom]
 		if !ok {
-			s.seen[dom] = presence{first: snap.Taken, last: snap.Taken}
+			next.seen[dom] = presence{first: snap.Taken, last: snap.Taken}
 			continue
 		}
 		if snap.Taken.After(p.last) {
@@ -95,7 +120,7 @@ func (s *Service) Ingest(snap *zoneset.Snapshot) {
 		if snap.Taken.Before(p.first) {
 			p.first = snap.Taken
 		}
-		s.seen[dom] = p
+		next.seen[dom] = p
 	}
 	if prev != nil {
 		d := zoneset.Compare(prev, snap)
@@ -106,7 +131,9 @@ func (s *Service) Ingest(snap *zoneset.Snapshot) {
 		// First collected snapshot: every delegation counts as seen,
 		// not as newly registered.
 	}
-	s.latest[snap.TLD] = snap
+	next.stats[snap.TLD] = st
+	next.latest[snap.TLD] = snap
+	s.view.Store(next)
 	subs := make([]func(*zoneset.Snapshot), len(s.subs))
 	copy(subs, s.subs)
 	s.mu.Unlock()
@@ -124,9 +151,7 @@ func (s *Service) Subscribe(fn func(*zoneset.Snapshot)) {
 
 // Latest returns the most recent snapshot for tld.
 func (s *Service) Latest(tld string) (*zoneset.Snapshot, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	snap := s.latest[dnsname.Canonical(tld)]
+	snap := s.view.Load().latest[dnsname.Canonical(tld)]
 	if snap == nil {
 		return nil, fmt.Errorf("%w: %s", ErrNoZone, tld)
 	}
@@ -135,21 +160,14 @@ func (s *Service) Latest(tld string) (*zoneset.Snapshot, error) {
 
 // Stats returns the accumulated zone-diff statistics for tld.
 func (s *Service) Stats(tld string) DiffStats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st := s.stats[dnsname.Canonical(tld)]
-	if st == nil {
-		return DiffStats{}
-	}
-	return *st
+	return s.view.Load().stats[dnsname.Canonical(tld)]
 }
 
 // TLDs returns the zones with at least one collected snapshot, sorted.
 func (s *Service) TLDs() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.latest))
-	for tld := range s.latest {
+	v := s.view.Load()
+	out := make([]string, 0, len(v.latest))
+	for tld := range v.latest {
 		out = append(out, tld)
 	}
 	sort.Strings(out)
@@ -159,21 +177,18 @@ func (s *Service) TLDs() []string {
 // InLatest reports whether domain appears in the latest snapshot of its
 // TLD. Domains of uncollected TLDs report false — from the pipeline's
 // perspective they are always "not in the zone files" (which is why the
-// paper can apply its method to ccTLDs at all).
+// paper can apply its method to ccTLDs at all). This is the ingest hot
+// path; it takes no lock.
 func (s *Service) InLatest(domain string) bool {
 	domain = dnsname.Canonical(domain)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	snap := s.latest[dnsname.TLD(domain)]
+	snap := s.view.Load().latest[dnsname.TLD(domain)]
 	return snap != nil && snap.Contains(domain)
 }
 
 // FirstSeen returns the Taken time of the first snapshot that contained
 // domain, across the whole collection.
 func (s *Service) FirstSeen(domain string) (time.Time, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p, ok := s.seen[dnsname.Canonical(domain)]
+	p, ok := s.view.Load().seen[dnsname.Canonical(domain)]
 	return p.first, ok
 }
 
@@ -182,10 +197,7 @@ func (s *Service) FirstSeen(domain string) (time.Time, bool) {
 // transient test: "domains that do not appear in our zone collection
 // during the window ±3 days".
 func (s *Service) EverSeen(domain string, from, to time.Time) bool {
-	domain = dnsname.Canonical(domain)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p, ok := s.seen[domain]
+	p, ok := s.view.Load().seen[dnsname.Canonical(domain)]
 	if !ok {
 		return false
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"net/netip"
+	"sync"
 	"testing"
 	"time"
 
@@ -127,6 +128,51 @@ func TestSubscribersNotified(t *testing.T) {
 	svc.Ingest(snapAt("xyz", t0))
 	if len(got) != 2 || got[1] != "xyz" {
 		t.Errorf("notifications: %v", got)
+	}
+}
+
+// TestLockFreeReadsDuringIngest hammers the hot-path readers while daily
+// collections swap the view underneath them; run with -race. Every
+// ingested snapshot contains paired-a.com, so each reader's view of it
+// is monotone: once observed present, no later generation may report it
+// absent. (Two separate reads may legitimately straddle a swap, so no
+// cross-domain assertion is made.)
+func TestLockFreeReadsDuringIngest(t *testing.T) {
+	svc := New()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			seen := false
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				inA := svc.InLatest("paired-a.com")
+				if seen && !inA {
+					t.Error("presence regressed across generations")
+					return
+				}
+				seen = seen || inA
+				svc.EverSeen("paired-a.com", t0, t0.Add(90*24*time.Hour))
+				svc.FirstSeen("paired-b.com")
+				svc.Stats("com")
+			}
+		}()
+	}
+	for day := 0; day < 50; day++ {
+		snap := snapAt("com", t0.Add(time.Duration(day)*24*time.Hour),
+			"paired-a.com", "paired-b.com", "filler.com")
+		svc.Ingest(snap)
+	}
+	close(stop)
+	wg.Wait()
+	if first, ok := svc.FirstSeen("paired-a.com"); !ok || !first.Equal(t0) {
+		t.Errorf("FirstSeen = %v, %v", first, ok)
 	}
 }
 

@@ -126,6 +126,20 @@ func CountLabels(s string) int {
 	return strings.Count(s, ".") + 1
 }
 
+// Hash64 returns the FNV-1a hash of s. Shard-striped stores (the
+// pipeline's candidate shards, the measurement fleet's watch registry)
+// key their stripe selection on it; it is inlined rather than built on
+// hash/fnv so the hot paths stay allocation-free. Callers hash the
+// Canonical form of a name so equal domains always land in one stripe.
+func Hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
 // TLD returns the rightmost label of s, or "" for the root.
 func TLD(s string) string {
 	s = strings.TrimSuffix(s, ".")

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"darkdns/internal/dnsname"
@@ -93,16 +94,31 @@ func DefaultConfig() Config {
 	return Config{Workers: 16, Interval: 10 * time.Minute, Window: 48 * time.Hour}
 }
 
+// watchShards is the number of independent locks the watch registry is
+// striped over. Watch admissions and probe-tick state updates hash to a
+// shard, so a burst of Watch calls from parallel ingest does not contend
+// with the fleet's own probe ticks. Power of two for cheap masking.
+const watchShards = 32
+
+// watchShard is one stripe of the registry.
+type watchShard struct {
+	mu     sync.Mutex
+	states map[string]*DomainState
+}
+
 // Fleet schedules and aggregates reactive probes.
 type Fleet struct {
 	cfg     Config
 	clk     simclock.Clock
 	backend Backend
 
-	mu        sync.Mutex
-	states    map[string]*DomainState
-	nextWork  int
-	observers []func(Observation)
+	shards   [watchShards]watchShard
+	nextWork atomic.Int64
+
+	// observers is a copy-on-write list: registrations are rare and
+	// serialized by obsMu, probe ticks read it lock-free.
+	obsMu     sync.Mutex
+	observers atomic.Pointer[[]func(Observation)]
 }
 
 // NewFleet creates a fleet over backend using clk for scheduling.
@@ -116,32 +132,48 @@ func NewFleet(cfg Config, clk simclock.Clock, backend Backend) *Fleet {
 	if cfg.Window <= 0 {
 		cfg.Window = 48 * time.Hour
 	}
-	return &Fleet{cfg: cfg, clk: clk, backend: backend, states: make(map[string]*DomainState)}
+	f := &Fleet{cfg: cfg, clk: clk, backend: backend}
+	for i := range f.shards {
+		f.shards[i].states = make(map[string]*DomainState)
+	}
+	return f
+}
+
+// shard maps a canonical domain to its registry stripe.
+func (f *Fleet) shard(domain string) *watchShard {
+	return &f.shards[dnsname.Hash64(domain)&(watchShards-1)]
 }
 
 // OnObservation registers fn to receive every probe result (the pipeline
 // feeds these into its Kafka topic).
 func (f *Fleet) OnObservation(fn func(Observation)) {
-	f.mu.Lock()
-	f.observers = append(f.observers, fn)
-	f.mu.Unlock()
+	f.obsMu.Lock()
+	defer f.obsMu.Unlock()
+	var cur []func(Observation)
+	if p := f.observers.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]func(Observation), len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = fn
+	f.observers.Store(&next)
 }
 
 // Watch begins the 48-hour probe schedule for domain. Re-watching an
 // already-watched domain is a no-op. The first probe fires immediately.
 func (f *Fleet) Watch(domain string) {
 	domain = dnsname.Canonical(domain)
-	f.mu.Lock()
-	if _, ok := f.states[domain]; ok {
-		f.mu.Unlock()
+	sh := f.shard(domain)
+	sh.mu.Lock()
+	if _, ok := sh.states[domain]; ok {
+		sh.mu.Unlock()
 		return
 	}
 	now := f.clk.Now()
 	st := &DomainState{Domain: domain, Started: now}
-	f.states[domain] = st
-	worker := f.nextWork
-	f.nextWork = (f.nextWork + 1) % f.cfg.Workers
-	f.mu.Unlock()
+	sh.states[domain] = st
+	sh.mu.Unlock()
+	worker := int(f.nextWork.Add(1)-1) % f.cfg.Workers
 
 	var probe func()
 	probe = func() {
@@ -158,18 +190,19 @@ func (f *Fleet) Watch(domain string) {
 // the watch window has closed.
 func (f *Fleet) probeOnce(domain string, worker int) bool {
 	now := f.clk.Now()
-	f.mu.Lock()
-	st := f.states[domain]
+	sh := f.shard(domain)
+	sh.mu.Lock()
+	st := sh.states[domain]
 	if st == nil {
-		f.mu.Unlock()
+		sh.mu.Unlock()
 		return true
 	}
 	if now.Sub(st.Started) > f.cfg.Window {
 		st.Finished = true
-		f.mu.Unlock()
+		sh.mu.Unlock()
 		return true
 	}
-	f.mu.Unlock()
+	sh.mu.Unlock()
 
 	ns, inZone := f.backend.AuthoritativeNS(domain)
 	obs := Observation{Domain: domain, Worker: worker, At: now, InZone: inZone}
@@ -188,7 +221,7 @@ func (f *Fleet) probeOnce(domain string, worker int) bool {
 	}
 
 	dead := false
-	f.mu.Lock()
+	sh.mu.Lock()
 	st.Probes++
 	if inZone {
 		st.EverInZone = true
@@ -219,12 +252,12 @@ func (f *Fleet) probeOnce(domain string, worker int) bool {
 		st.Finished = true
 		dead = true
 	}
-	obsFns := make([]func(Observation), len(f.observers))
-	copy(obsFns, f.observers)
-	f.mu.Unlock()
+	sh.mu.Unlock()
 
-	for _, fn := range obsFns {
-		fn(obs)
+	if p := f.observers.Load(); p != nil {
+		for _, fn := range *p {
+			fn(obs)
+		}
 	}
 	return dead
 }
@@ -243,9 +276,11 @@ func equalStrings(a, b []string) bool {
 
 // State returns a copy of domain's aggregated state.
 func (f *Fleet) State(domain string) (DomainState, bool) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	st, ok := f.states[dnsname.Canonical(domain)]
+	domain = dnsname.Canonical(domain)
+	sh := f.shard(domain)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.states[domain]
 	if !ok {
 		return DomainState{}, false
 	}
@@ -254,11 +289,14 @@ func (f *Fleet) State(domain string) (DomainState, bool) {
 
 // States returns copies of all domain states, sorted by domain.
 func (f *Fleet) States() []DomainState {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	out := make([]DomainState, 0, len(f.states))
-	for _, st := range f.states {
-		out = append(out, *st)
+	out := make([]DomainState, 0, f.Watched())
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		for _, st := range sh.states {
+			out = append(out, *st)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
 	return out
@@ -266,7 +304,12 @@ func (f *Fleet) States() []DomainState {
 
 // Watched returns the number of domains ever watched.
 func (f *Fleet) Watched() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return len(f.states)
+	n := 0
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		n += len(sh.states)
+		sh.mu.Unlock()
+	}
+	return n
 }

@@ -52,12 +52,16 @@ func (b *Bus) CreateTopic(name string) (*Topic, error) {
 	if _, ok := b.topics[name]; ok {
 		return nil, fmt.Errorf("%w: %s", ErrTopicOpen, name)
 	}
-	t := &Topic{name: name, groups: make(map[string]int64)}
+	t := newTopic(name)
 	b.topics[name] = t
 	return t, nil
 }
 
-// Topic returns an existing topic, creating it on first use.
+// Topic returns an existing topic, creating it on first use. Topic never
+// returns nil: when the bus is already closed and the topic does not
+// exist, a detached topic is returned — publishes to it succeed but no
+// other caller can discover it, mirroring Close's "only blocks topic
+// creation" contract without handing callers a nil to dereference.
 func (b *Bus) Topic(name string) *Topic {
 	b.mu.RLock()
 	t := b.topics[name]
@@ -65,12 +69,14 @@ func (b *Bus) Topic(name string) *Topic {
 	if t != nil {
 		return t
 	}
-	t, err := b.CreateTopic(name)
-	if err != nil {
-		// Lost a race; the topic now exists.
-		b.mu.RLock()
-		t = b.topics[name]
-		b.mu.RUnlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t := b.topics[name]; t != nil {
+		return t // lost the creation race; the topic now exists
+	}
+	t = newTopic(name)
+	if !b.closed {
+		b.topics[name] = t
 	}
 	return t
 }
@@ -99,10 +105,15 @@ func (b *Bus) Close() {
 type Topic struct {
 	name string
 
-	mu      sync.Mutex
-	log     []Message
-	groups  map[string]int64 // committed offset per group (next to read)
-	waiters []chan struct{}
+	mu         sync.Mutex
+	log        []Message
+	groups     map[string]int64 // committed offset per group (next to read)
+	waiters    map[uint64]chan struct{}
+	nextWaiter uint64
+}
+
+func newTopic(name string) *Topic {
+	return &Topic{name: name, groups: make(map[string]int64), waiters: make(map[uint64]chan struct{})}
 }
 
 // Name returns the topic name.
@@ -113,13 +124,63 @@ func (t *Topic) Publish(now time.Time, key string, value []byte) int64 {
 	t.mu.Lock()
 	off := int64(len(t.log))
 	t.log = append(t.log, Message{Offset: off, Time: now, Key: key, Value: value})
-	waiters := t.waiters
-	t.waiters = nil
+	waiters := t.takeWaiters()
 	t.mu.Unlock()
 	for _, w := range waiters {
 		close(w)
 	}
 	return off
+}
+
+// Record is one key/value pair for batch publication. A zero Time means
+// "stamp with the batch time"; a non-zero Time is preserved, letting
+// batched publishers keep per-message observation times identical to what
+// per-message Publish calls would have recorded.
+type Record struct {
+	Time  time.Time
+	Key   string
+	Value []byte
+}
+
+// PublishBatch appends recs as consecutive messages and returns the
+// offset of the first. The whole batch costs one lock acquisition and one
+// waiter wake-up round, which is the amortization the pipeline's ingest
+// hot path relies on (DESIGN.md §5). Publishing an empty batch is a no-op
+// returning the next offset.
+func (t *Topic) PublishBatch(now time.Time, recs []Record) int64 {
+	t.mu.Lock()
+	first := int64(len(t.log))
+	if len(recs) == 0 {
+		t.mu.Unlock()
+		return first
+	}
+	for i, r := range recs {
+		at := r.Time
+		if at.IsZero() {
+			at = now
+		}
+		t.log = append(t.log, Message{Offset: first + int64(i), Time: at, Key: r.Key, Value: r.Value})
+	}
+	waiters := t.takeWaiters()
+	t.mu.Unlock()
+	for _, w := range waiters {
+		close(w)
+	}
+	return first
+}
+
+// takeWaiters drains the waiter set; caller holds mu and must close every
+// returned channel after releasing it.
+func (t *Topic) takeWaiters() []chan struct{} {
+	if len(t.waiters) == 0 {
+		return nil
+	}
+	ws := make([]chan struct{}, 0, len(t.waiters))
+	for _, w := range t.waiters {
+		ws = append(ws, w)
+	}
+	clear(t.waiters)
+	return ws
 }
 
 // Len returns the number of messages ever published.
@@ -169,14 +230,30 @@ func (t *Topic) Lag(group string) int64 {
 	return int64(len(t.log)) - t.groups[group]
 }
 
-// wait returns a channel closed at the next publish. Callers must
-// re-check state after it fires.
-func (t *Topic) wait() <-chan struct{} {
+// wait returns a channel closed at the next publish plus a cancel that
+// deregisters the channel. Callers must re-check state after the channel
+// fires, and must call cancel when abandoning the wait (e.g. on timeout)
+// so the waiter entry does not accumulate on publish-idle topics.
+func (t *Topic) wait() (<-chan struct{}, func()) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	ch := make(chan struct{})
-	t.waiters = append(t.waiters, ch)
-	return ch
+	id := t.nextWaiter
+	t.nextWaiter++
+	t.waiters[id] = ch
+	return ch, func() {
+		t.mu.Lock()
+		delete(t.waiters, id)
+		t.mu.Unlock()
+	}
+}
+
+// pendingWaiters reports the number of registered waiter channels (tests
+// assert the timeout path does not leak entries).
+func (t *Topic) pendingWaiters() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.waiters)
 }
 
 // Consumer is a convenience wrapper binding a topic and a group.
@@ -233,9 +310,14 @@ func (c *Consumer) WaitNext(timeout time.Duration) ([]Message, bool) {
 		if remain <= 0 {
 			return nil, false
 		}
+		ch, cancel := c.topic.wait()
+		timer := time.NewTimer(remain)
 		select {
-		case <-c.topic.wait():
-		case <-time.After(remain):
+		case <-ch:
+			timer.Stop()
+			cancel()
+		case <-timer.C:
+			cancel()
 			return nil, false
 		}
 	}

@@ -1,0 +1,23 @@
+package worldsim
+
+import (
+	"darkdns/internal/certstream"
+)
+
+// RecordedEvents builds a world from cfg, runs its full timeline, and
+// returns every certstream event the hub delivered, in delivery order.
+// The slice is a realistic replay corpus for the pipeline's batch and
+// parallel ingest paths: the batch-equivalence tests (core and
+// certstream) replay it into independently configured pipelines, and
+// replay tools can feed it back through Hub.PublishBatch. The recording
+// subscriber is attached before any scheduled certificate fires, so the
+// corpus is complete and — like everything derived from a world — a
+// pure function of cfg.
+func RecordedEvents(cfg Config) []certstream.Event {
+	w := New(cfg)
+	var evs []certstream.Event
+	cancel := w.Hub.Subscribe(func(ev certstream.Event) { evs = append(evs, ev) })
+	w.Run()
+	cancel()
+	return evs
+}
