@@ -10,6 +10,7 @@
 package darkdns
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"testing"
@@ -20,7 +21,9 @@ import (
 	"darkdns/internal/core"
 	"darkdns/internal/ct"
 	"darkdns/internal/czds"
+	"darkdns/internal/dnsname"
 	"darkdns/internal/psl"
+	"darkdns/internal/rdap"
 	"darkdns/internal/simclock"
 )
 
@@ -287,6 +290,75 @@ func BenchmarkPipelineIngestParallel(b *testing.B) {
 			i++
 		}
 	})
+}
+
+// rdapWorkQuerier simulates one registry lookup with a fixed slab of CPU
+// work per query (jCard rendering and parsing in a network deployment),
+// so the dispatch benchmarks expose worker-pool scaling rather than
+// map-lookup noise.
+type rdapWorkQuerier struct{}
+
+func (rdapWorkQuerier) Domain(_ context.Context, name string) (*rdap.Record, error) {
+	h := dnsname.Hash64(name)
+	for i := 0; i < 8192; i++ {
+		h = (h ^ uint64(i)) * 0x100000001b3
+	}
+	if h == 0 { // never true; defeats dead-code elimination
+		return nil, rdap.ErrNotFound
+	}
+	return &rdap.Record{Domain: name, Registrar: "bench", Registered: time.Unix(int64(h%1e6), 0)}, nil
+}
+
+// benchRDAPNames builds a corpus spread over several TLD queues.
+func benchRDAPNames() []string {
+	tlds := []string{"shop", "com", "net", "org"}
+	names := make([]string, 512)
+	for i := range names {
+		names[i] = benchName(i) + "." + tlds[i%len(tlds)]
+	}
+	return names
+}
+
+// BenchmarkRDAPDispatchSerial is the PR 1 baseline: step 2 as blocking
+// per-candidate lookups on the calling goroutine, no queues, no pool.
+func BenchmarkRDAPDispatchSerial(b *testing.B) {
+	q := rdapWorkQuerier{}
+	names := benchRDAPNames()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Domain(ctx, names[i%len(names)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRDAPDispatchParallel measures the asynchronous dispatch
+// engine end to end under the real clock: DomainBatch enqueues fan out
+// into per-TLD queues drained by a machine-width worker pool, and one op
+// is one completed query (the batch completion barrier is part of the
+// measured cost, as it is in the pipeline).
+func BenchmarkRDAPDispatchParallel(b *testing.B) {
+	d := rdap.NewDispatcher(rdap.DispatcherConfig{Workers: runtime.GOMAXPROCS(0)},
+		simclock.Real{}, rdapWorkQuerier{})
+	names := benchRDAPNames()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(names) {
+		n := len(names)
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		var wg sync.WaitGroup
+		wg.Add(n)
+		batch := make(rdap.DomainBatch, n)
+		for j := 0; j < n; j++ {
+			batch[j] = rdap.Query{Domain: names[j], Done: func(*rdap.Record, error) { wg.Done() }}
+		}
+		d.EnqueueBatch(batch)
+		wg.Wait()
+	}
 }
 
 func benchName(i int) string {

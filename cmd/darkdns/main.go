@@ -23,6 +23,7 @@ func main() {
 	weeks := flag.Int("weeks", 4, "observation window length in weeks")
 	seed := flag.Int64("seed", 1, "world seed")
 	ingestWorkers := flag.Int("ingest-workers", 0, "pipeline ingest mode: 0 = per-event, ≥1 = batched with this screening pool width (same results either way)")
+	rdapWorkers := flag.Int("rdap-workers", 0, "RDAP dispatch mode: 0 = serial lookups, ≥1 = async per-TLD queues drained by this worker pool width (same results either way)")
 	verbose := flag.Bool("v", false, "print every confirmed transient domain")
 	export := flag.String("export", "", "write candidates to this file in columnar format")
 	flag.Parse()
@@ -30,7 +31,7 @@ func main() {
 	start := time.Now()
 	res := analysis.Run(analysis.RunConfig{
 		Seed: *seed, Scale: *scale, Weeks: *weeks, WatchSampleRate: 1.0,
-		IngestWorkers: *ingestWorkers,
+		IngestWorkers: *ingestWorkers, RDAPWorkers: *rdapWorkers,
 	})
 	fmt.Printf("simulated %d weeks at scale %g in %v\n", *weeks, *scale, time.Since(start).Round(time.Millisecond))
 
@@ -50,6 +51,15 @@ func main() {
 
 	kept, total := analysis.NSStability(res)
 	fmt.Printf("ns stability (24h): %s of %d watched\n", analysis.Pct(kept, total), total)
+
+	fr := res.Fleet.Report()
+	fmt.Printf("fleet: %d watched, %d probes, %d ever-in-zone, %d died, %d ns-changed\n",
+		fr.Watched, fr.Probes, fr.EverInZone, fr.Died, fr.NSChanged)
+	if *rdapWorkers > 0 {
+		d := fr.Dispatch
+		fmt.Printf("rdap dispatch: %d enqueued, %d completed (%d failed), %d shed; %d TLD queues, max depth %d, avg latency %v\n",
+			d.Enqueued, d.Completed, d.Failed, d.Shed, d.TLDs, d.MaxDepth, d.AvgLatency.Round(time.Second))
+	}
 
 	if *verbose {
 		for _, c := range rep.Confirmed {

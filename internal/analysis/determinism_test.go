@@ -62,3 +62,39 @@ func TestSerialParallelCampaignsIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestSerialParallelRDAPDispatchIdentical: the same byte-identity must
+// hold for step 2's dispatch mode — blocking lookups scheduled on the
+// clock (RDAPWorkers=0), the dispatch engine draining serially
+// (RDAPWorkers=1), and a wide worker pool (RDAPWorkers=8) — alone and
+// combined with batched ingest. The dispatcher's drain barrier executes
+// every due query at one simulated instant, so pool width parallelizes
+// execution without reordering any observable.
+func TestSerialParallelRDAPDispatchIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full campaigns")
+	}
+	base := RunConfig{Seed: 23, Scale: 0.0008, Weeks: 2, WatchSampleRate: 1.0, ProbeMail: true}
+	render := func(cfg RunConfig) []byte {
+		r := Run(cfg)
+		var buf bytes.Buffer
+		if err := WriteReport(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(base)
+	for _, cfg := range []RunConfig{
+		{RDAPWorkers: 1},
+		{RDAPWorkers: 8},
+		{RDAPWorkers: 8, IngestWorkers: 8},
+	} {
+		run := base
+		run.RDAPWorkers = cfg.RDAPWorkers
+		run.IngestWorkers = cfg.IngestWorkers
+		if got := render(run); !bytes.Equal(serial, got) {
+			t.Errorf("rdap-workers=%d ingest-workers=%d report diverges from serial",
+				cfg.RDAPWorkers, cfg.IngestWorkers)
+		}
+	}
+}

@@ -42,6 +42,12 @@ type RunConfig struct {
 	// per-domain decision derivation guarantees it; the determinism
 	// tests assert it).
 	IngestWorkers int
+	// RDAPWorkers selects step 2's dispatch mode: 0 schedules blocking
+	// lookups on the clock (the serial path), ≥1 routes candidates
+	// through the asynchronous per-TLD dispatch engine with that
+	// worker-pool width. Like IngestWorkers, campaign results are
+	// byte-identical across modes for a fixed seed.
+	RDAPWorkers int
 }
 
 // DefaultRunConfig is sized for test and example runs: ≈1/500 of paper
@@ -73,7 +79,13 @@ func Run(cfg RunConfig) *Results {
 	if cfg.IngestWorkers > 0 {
 		pcfg.IngestWorkers = cfg.IngestWorkers
 	}
+	if cfg.RDAPWorkers > 0 {
+		pcfg.RDAPWorkers = cfg.RDAPWorkers
+	}
 	p := core.New(pcfg, w.Clock, psl.Default(), w.CZDS, core.MuxQuerier{Mux: w.RDAP}, fleet, bus, cfg.Seed+100)
+	if d := p.Dispatcher(); d != nil {
+		fleet.AttachDispatcher(d)
+	}
 	if cfg.IngestWorkers > 0 {
 		p.StartBatched(w.Hub)
 	} else {

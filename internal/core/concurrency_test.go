@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"reflect"
@@ -11,8 +12,10 @@ import (
 	"darkdns/internal/certstream"
 	"darkdns/internal/ct"
 	"darkdns/internal/czds"
+	"darkdns/internal/dnsname"
 	"darkdns/internal/measure"
 	"darkdns/internal/psl"
+	"darkdns/internal/rdap"
 	"darkdns/internal/simclock"
 	"darkdns/internal/stream"
 	"darkdns/internal/worldsim"
@@ -48,6 +51,7 @@ func TestConcurrentIngestRace(t *testing.T) {
 
 	cfg := DefaultConfig(t0, t0.Add(91*24*time.Hour))
 	cfg.IngestWorkers = 4
+	cfg.RDAPWorkers = 4 // step 2 through the async dispatch engine
 	p := New(cfg, clk, psl.Default(), zones, nullQuerier{}, fleet, bus, 7)
 
 	evs := synthEvents(4000, t0)
@@ -104,6 +108,59 @@ func TestConcurrentIngestRace(t *testing.T) {
 	}
 	if got := bus.Topic(cfg.FeedTopic).Len(); got != 2000 {
 		t.Fatalf("feed published %d messages, want 2000", got)
+	}
+}
+
+// hashQuerier answers deterministically by name so RDAP outcomes are a
+// pure function of the domain: a rotating mix of ok / not-found /
+// not-synced, the three §4.2 collection results.
+type hashQuerier struct{}
+
+func (hashQuerier) Domain(_ context.Context, name string) (*rdap.Record, error) {
+	switch dnsname.Hash64(name) % 4 {
+	case 0:
+		return nil, rdap.ErrNotFound
+	case 1:
+		return nil, rdap.ErrNotSynced
+	default:
+		return &rdap.Record{Domain: name, Registrar: "Reg-" + name[:1], Registered: t0}, nil
+	}
+}
+
+// TestDispatchMatchesSerialRDAP replays one corpus through the serial
+// step-2 path and the dispatch engine at two pool widths, advancing the
+// clock through every queueing delay, and requires identical candidate
+// stores — RDAP outcomes, timestamps and validation bits included. This
+// is the dispatch engine's determinism contract at the pipeline level.
+func TestDispatchMatchesSerialRDAP(t *testing.T) {
+	evs := synthEvents(1200, t0)
+
+	run := func(rdapWorkers int) []Candidate {
+		clk := simclock.NewSim(t0)
+		cfg := DefaultConfig(t0, t0.Add(91*24*time.Hour))
+		cfg.RDAPWorkers = rdapWorkers
+		p := New(cfg, clk, psl.Default(), czds.New(), hashQuerier{}, nil, nil, 55)
+		for _, ev := range evs {
+			p.HandleEvent(ev)
+		}
+		clk.Run() // fire every queued RDAP collection
+		return p.Candidates()
+	}
+
+	want := run(0)
+	nOK := 0
+	for _, c := range want {
+		if c.RDAPOutcome == RDAPOK {
+			nOK++
+		}
+	}
+	if nOK == 0 {
+		t.Fatal("degenerate corpus: no successful RDAP outcome")
+	}
+	for _, workers := range []int{1, 8} {
+		if got := run(workers); !reflect.DeepEqual(got, want) {
+			t.Errorf("rdap-workers=%d candidates diverge from serial path", workers)
+		}
 	}
 }
 

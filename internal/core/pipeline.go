@@ -15,10 +15,13 @@
 // Step 5: after the window closes, label as transient every candidate
 // that never appeared in any zone snapshot (±3 days slack).
 //
-// Concurrency model (DESIGN.md §5): the candidate store is striped over
-// independent locks, zone-presence reads are lock-free (czds), and
+// Concurrency model (DESIGN.md §5–§6): the candidate store is striped
+// over independent locks, zone-presence reads are lock-free (czds),
 // HandleBatch screens events through the PSL and zone filter on a worker
-// pool. Every per-candidate random decision (RDAP queueing delay, failure
+// pool, and with Config.RDAPWorkers set, step 2 runs through the
+// asynchronous per-TLD dispatch engine (rdap.Dispatcher) instead of
+// blocking lookups scheduled on the clock. Every per-candidate random
+// decision (RDAP queueing delay, failure
 // injection, watch sampling) is drawn from a generator derived from the
 // pipeline seed and the domain name alone, so outcomes are identical no
 // matter how events are batched or which worker screens them — serial and
@@ -43,6 +46,7 @@ import (
 	"darkdns/internal/rdap"
 	"darkdns/internal/simclock"
 	"darkdns/internal/stream"
+	"darkdns/internal/workpool"
 )
 
 // Config parameterizes the pipeline.
@@ -78,6 +82,19 @@ type Config struct {
 	// this many events are pending the batch is handed off inline
 	// without waiting for the flush timer. 0 means DefaultIngestBatch.
 	IngestBatch int
+	// RDAPWorkers enables the asynchronous RDAP dispatch engine:
+	// admitted candidates enqueue into per-TLD queues drained by a
+	// worker pool this wide instead of scheduling a blocking lookup on
+	// the clock. 0 keeps the serial collection path. Campaign reports
+	// are byte-identical across 0, 1 and N workers (the dispatcher's
+	// determinism contract).
+	RDAPWorkers int
+	// RDAPQueueDepth bounds each TLD's pending-query backlog when the
+	// dispatch engine is enabled; excess queries shed as collection
+	// errors instead of blocking ingest. 0 means unbounded (the
+	// campaign default — shedding depends on load, so bounding trades
+	// the serial/parallel byte-identity for backpressure).
+	RDAPQueueDepth int
 }
 
 // DefaultIngestBatch is the micro-batcher's default maximum batch size.
@@ -167,6 +184,7 @@ type Pipeline struct {
 	psl   *psl.List
 	zones *czds.Service
 	rdapQ rdap.Querier
+	rdapD *rdap.Dispatcher // non-nil when cfg.RDAPWorkers > 0
 	fleet *measure.Fleet
 	seed  int64
 
@@ -206,6 +224,12 @@ func New(cfg Config, clk simclock.Clock, pslList *psl.List, zones *czds.Service,
 		cfg: cfg, clk: clk, psl: pslList, zones: zones, rdapQ: rdapQ,
 		fleet: fleet, seed: seed,
 	}
+	if cfg.RDAPWorkers > 0 {
+		p.rdapD = rdap.NewDispatcher(rdap.DispatcherConfig{
+			Workers:    cfg.RDAPWorkers,
+			QueueDepth: cfg.RDAPQueueDepth,
+		}, clk, rdapQ)
+	}
 	for i := range p.shards {
 		p.shards[i].candidates = make(map[string]*Candidate)
 	}
@@ -221,17 +245,14 @@ func (p *Pipeline) shard(domain string) *candShard {
 }
 
 // splitmix64 is a tiny rand.Source64: each call advances a Weyl sequence
-// and whitens it. It replaces the stock 4.9 KB shuffled-linear source for
-// per-candidate decision draws, where a fresh generator is created per
-// admission.
+// and whitens it through the shared dnsname.Mix64 finalizer. It replaces
+// the stock 4.9 KB shuffled-linear source for per-candidate decision
+// draws, where a fresh generator is created per admission.
 type splitmix64 uint64
 
 func (s *splitmix64) next() uint64 {
 	*s += 0x9e3779b97f4a7c15
-	x := uint64(*s)
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
+	return dnsname.Mix64(uint64(*s))
 }
 
 func (s *splitmix64) Uint64() uint64  { return s.next() }
@@ -325,7 +346,9 @@ func (p *Pipeline) HandleEvent(ev certstream.Event) {
 		if p.feed != nil {
 			p.feed.Publish(ev.Seen, domain, feedJSON(domain, ev))
 		}
-		p.dispatch(cand)
+		if q, ok := p.dispatch(cand); ok {
+			p.rdapD.Enqueue(q)
+		}
 	}
 }
 
@@ -352,35 +375,13 @@ func (p *Pipeline) HandleBatch(evs []certstream.Event) {
 		}
 		proposals[i] = doms
 	}
-	workers := p.cfg.IngestWorkers
-	if workers > len(evs) {
-		workers = len(evs)
-	}
-	if workers <= 1 {
-		for i := range evs {
-			screen(i)
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(evs) {
-						return
-					}
-					screen(i)
-				}
-			}()
-		}
-		wg.Wait()
-	}
+	workpool.Run(len(evs), p.cfg.IngestWorkers, screen)
 
-	// Stage 2: serial admission in input order.
+	// Stage 2: serial admission in input order. RDAP queries accumulate
+	// into one DomainBatch so the dispatch engine admits them in a
+	// single pass after the feed hand-off.
 	var recs []stream.Record
+	var rdapBatch rdap.DomainBatch
 	for i, ev := range evs {
 		for _, domain := range proposals[i] {
 			cand, admitted := p.admit(domain, ev)
@@ -390,11 +391,16 @@ func (p *Pipeline) HandleBatch(evs []certstream.Event) {
 			if p.feed != nil {
 				recs = append(recs, stream.Record{Time: ev.Seen, Key: domain, Value: feedJSON(domain, ev)})
 			}
-			p.dispatch(cand)
+			if q, ok := p.dispatch(cand); ok {
+				rdapBatch = append(rdapBatch, q)
+			}
 		}
 	}
 	if p.feed != nil && len(recs) > 0 {
 		p.feed.PublishBatch(p.clk.Now(), recs)
+	}
+	if len(rdapBatch) > 0 {
+		p.rdapD.EnqueueBatch(rdapBatch)
 	}
 }
 
@@ -449,15 +455,27 @@ func (p *Pipeline) admit(domain string, ev certstream.Event) (*Candidate, bool) 
 // dispatch runs steps 2 and 3 for a freshly admitted candidate: RDAP
 // after a queueing delay (one attempt only) and the reactive measurement
 // watch, with all random decisions drawn from the candidate's derived
-// generator.
-func (p *Pipeline) dispatch(cand *Candidate) {
+// generator. When the dispatch engine is enabled the step-2 query is
+// returned for the caller to enqueue (ok=true) instead of being scheduled
+// on the clock — screened candidates enqueue, they never block on RDAP.
+func (p *Pipeline) dispatch(cand *Candidate) (q rdap.Query, ok bool) {
 	rng := p.domainRand(cand.Domain)
 	delay := time.Duration(0)
 	if p.cfg.RDAPDelay != nil {
 		delay = p.cfg.RDAPDelay(rng)
 	}
 	fail := rng.Float64() < p.cfg.RDAPFailureRate
-	p.clk.After(delay, func() { p.collectRDAP(cand, fail) })
+	if p.rdapD != nil {
+		q = rdap.Query{
+			Domain:        cand.Domain,
+			Delay:         delay,
+			InjectFailure: fail,
+			Done:          func(rec *rdap.Record, err error) { p.finishRDAP(cand, rec, err) },
+		}
+		ok = true
+	} else {
+		p.clk.After(delay, func() { p.collectRDAP(cand, fail) })
+	}
 
 	if p.fleet != nil && rng.Float64() < p.cfg.WatchSampleRate {
 		sh := p.shard(cand.Domain)
@@ -466,6 +484,7 @@ func (p *Pipeline) dispatch(cand *Candidate) {
 		sh.mu.Unlock()
 		p.fleet.Watch(cand.Domain)
 	}
+	return q, ok
 }
 
 // feedJSON renders the NRD feed message for an admission.
@@ -474,18 +493,27 @@ func feedJSON(domain string, ev certstream.Event) []byte {
 		domain, ev.Seen.UTC().Format(time.RFC3339), ev.Log))
 }
 
-// collectRDAP performs step 2 and the step 4 validation.
+// collectRDAP performs step 2 on the serial path: the one blocking lookup
+// (or injected failure), then the shared outcome recording.
 func (p *Pipeline) collectRDAP(cand *Candidate, injectedFailure bool) {
+	if injectedFailure {
+		p.finishRDAP(cand, nil, rdap.ErrRateLimited)
+		return
+	}
+	rec, err := p.rdapQ.Domain(context.Background(), cand.Domain)
+	p.finishRDAP(cand, rec, err)
+}
+
+// finishRDAP records a step-2 outcome — delivered synchronously by
+// collectRDAP or asynchronously by a dispatch worker — and runs the
+// step 4 validation. Safe for concurrent use: outcomes for distinct
+// candidates land on their own store stripes.
+func (p *Pipeline) finishRDAP(cand *Candidate, rec *rdap.Record, err error) {
 	now := p.clk.Now()
 	sh := p.shard(cand.Domain)
 	sh.mu.Lock()
 	cand.RDAPAt = now
 	sh.mu.Unlock()
-	if injectedFailure {
-		p.setRDAP(cand, RDAPError, nil)
-		return
-	}
-	rec, err := p.rdapQ.Domain(context.Background(), cand.Domain)
 	switch {
 	case err == nil:
 		p.setRDAP(cand, RDAPOK, rec)
@@ -497,6 +525,10 @@ func (p *Pipeline) collectRDAP(cand *Candidate, injectedFailure bool) {
 		p.setRDAP(cand, RDAPError, nil)
 	}
 }
+
+// Dispatcher exposes the RDAP dispatch engine (nil on the serial path)
+// so callers can couple its counters into operational reports.
+func (p *Pipeline) Dispatcher() *rdap.Dispatcher { return p.rdapD }
 
 func (p *Pipeline) setRDAP(cand *Candidate, outcome RDAPOutcome, rec *rdap.Record) {
 	sh := p.shard(cand.Domain)

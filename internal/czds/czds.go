@@ -18,10 +18,18 @@
 //
 // Concurrency model: the collection is read on the pipeline's ingest hot
 // path (InLatest runs once per CT-extracted domain) but written only on
-// daily snapshot collection. Reads therefore go through an immutable view
-// swapped behind an atomic.Pointer — lock-free and contention-free no
-// matter how many ingest workers are filtering concurrently — while
-// writers pay a copy-on-write rebuild under a mutex (DESIGN.md §5).
+// daily snapshot collection. The per-TLD snapshot/stats view goes
+// through an immutable generation swapped behind an atomic.Pointer, so
+// InLatest stays lock-free no matter how many ingest workers are
+// filtering concurrently, while writers pay a small per-TLD
+// copy-on-write rebuild under a mutex (DESIGN.md §5). The presence
+// index (one entry per domain ever seen — the bulk of the collection)
+// is different: its readers (FirstSeen, EverSeen) run off the hot path,
+// at transient labelling and analysis time, so it is striped over
+// mutex-guarded mutable maps keyed by domain hash. Ingest updates
+// stripes in place — no clone at all, eliminating the O(collection)
+// write amplification the whole-view COW design paid per snapshot —
+// and a reader contends only with updates hashing to its stripe.
 package czds
 
 import (
@@ -55,19 +63,31 @@ type DiffStats struct {
 	Changed int64
 }
 
-// view is one immutable generation of the collection. Readers load it
-// atomically and never see it change; Ingest builds a successor and swaps.
+// view is one immutable generation of the per-TLD collection state.
+// Readers load it atomically and never see it change; Ingest builds a
+// successor and swaps.
 type view struct {
 	latest map[string]*zoneset.Snapshot
-	seen   map[string]presence // domain → appearance interval
 	stats  map[string]DiffStats
 }
 
 // emptyView is the generation before any collection.
 var emptyView = &view{
 	latest: map[string]*zoneset.Snapshot{},
-	seen:   map[string]presence{},
 	stats:  map[string]DiffStats{},
+}
+
+// seenStripes is the stripe count of the presence index. The index holds
+// every domain ever seen in any snapshot — O(collection) — so cloning it
+// whole per daily snapshot was the write amplification ROADMAP flagged.
+// Striped mutable maps update in place; the stripe count only bounds
+// reader/writer contention. Power of two for cheap masking.
+const seenStripes = 64
+
+// seenStripe is one mutex-guarded stripe of the presence index.
+type seenStripe struct {
+	mu sync.Mutex
+	m  map[string]presence
 }
 
 // Service collects and serves zone snapshots.
@@ -75,6 +95,7 @@ type Service struct {
 	// mu serializes writers (Ingest, Subscribe); readers never take it.
 	mu   sync.Mutex
 	view atomic.Pointer[view]
+	seen [seenStripes]seenStripe
 	subs []func(*zoneset.Snapshot)
 }
 
@@ -82,7 +103,15 @@ type Service struct {
 func New() *Service {
 	s := &Service{}
 	s.view.Store(emptyView)
+	for i := range s.seen {
+		s.seen[i].m = make(map[string]presence)
+	}
 	return s
+}
+
+// stripe returns the presence stripe holding domain's interval.
+func (s *Service) stripe(domain string) *seenStripe {
+	return &s.seen[dnsname.Hash64(domain)&(seenStripes-1)]
 }
 
 // Collect attaches the service to a registry's snapshot publications.
@@ -95,33 +124,52 @@ func (s *Service) Collect(reg *registry.Registry) {
 }
 
 // Ingest stores a published snapshot, updates the presence index and the
-// day-over-day diff statistics, and notifies subscribers. The new
-// generation becomes visible to readers in one atomic swap; concurrent
-// readers keep the previous generation until their operation completes.
+// day-over-day diff statistics, and notifies subscribers. Presence
+// stripes update in place under their stripe locks, batched so each
+// touched stripe locks once per snapshot; the per-TLD view then becomes
+// visible in one atomic swap. Stripes update before the view so "in the
+// latest snapshot" never outruns "ever seen"; there is no cross-stripe
+// invariant beyond that (a domain's interval lives entirely in its own
+// stripe).
 func (s *Service) Ingest(snap *zoneset.Snapshot) {
 	s.mu.Lock()
+	// Group the snapshot's domains by stripe, then take each touched
+	// stripe's lock once and merge its updates in place.
+	var touched [seenStripes][]string
+	for _, dom := range snap.Domains() {
+		i := dnsname.Hash64(dom) & (seenStripes - 1)
+		touched[i] = append(touched[i], dom)
+	}
+	for i, doms := range touched {
+		if len(doms) == 0 {
+			continue
+		}
+		st := &s.seen[i]
+		st.mu.Lock()
+		for _, dom := range doms {
+			p, ok := st.m[dom]
+			if !ok {
+				st.m[dom] = presence{first: snap.Taken, last: snap.Taken}
+				continue
+			}
+			if snap.Taken.After(p.last) {
+				p.last = snap.Taken
+			}
+			if snap.Taken.Before(p.first) {
+				p.first = snap.Taken
+			}
+			st.m[dom] = p
+		}
+		st.mu.Unlock()
+	}
+
 	cur := s.view.Load()
 	next := &view{
 		latest: maps.Clone(cur.latest),
-		seen:   maps.Clone(cur.seen),
 		stats:  maps.Clone(cur.stats),
 	}
 	prev := next.latest[snap.TLD]
 	st := next.stats[snap.TLD]
-	for _, dom := range snap.Domains() {
-		p, ok := next.seen[dom]
-		if !ok {
-			next.seen[dom] = presence{first: snap.Taken, last: snap.Taken}
-			continue
-		}
-		if snap.Taken.After(p.last) {
-			p.last = snap.Taken
-		}
-		if snap.Taken.Before(p.first) {
-			p.first = snap.Taken
-		}
-		next.seen[dom] = p
-	}
 	if prev != nil {
 		d := zoneset.Compare(prev, snap)
 		st.Added += int64(len(d.Added))
@@ -186,9 +234,14 @@ func (s *Service) InLatest(domain string) bool {
 }
 
 // FirstSeen returns the Taken time of the first snapshot that contained
-// domain, across the whole collection.
+// domain, across the whole collection. Off the ingest hot path; takes
+// only the domain's stripe lock.
 func (s *Service) FirstSeen(domain string) (time.Time, bool) {
-	p, ok := s.view.Load().seen[dnsname.Canonical(domain)]
+	domain = dnsname.Canonical(domain)
+	st := s.stripe(domain)
+	st.mu.Lock()
+	p, ok := st.m[domain]
+	st.mu.Unlock()
 	return p.first, ok
 }
 
@@ -197,7 +250,11 @@ func (s *Service) FirstSeen(domain string) (time.Time, bool) {
 // transient test: "domains that do not appear in our zone collection
 // during the window ±3 days".
 func (s *Service) EverSeen(domain string, from, to time.Time) bool {
-	p, ok := s.view.Load().seen[dnsname.Canonical(domain)]
+	domain = dnsname.Canonical(domain)
+	st := s.stripe(domain)
+	st.mu.Lock()
+	p, ok := st.m[domain]
+	st.mu.Unlock()
 	if !ok {
 		return false
 	}

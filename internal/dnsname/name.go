@@ -140,6 +140,17 @@ func Hash64(s string) uint64 {
 	return h
 }
 
+// Mix64 is the splitmix64 finalizer: a bijective avalanche over x. Every
+// seeded per-domain derivation (the pipeline's decision generators, the
+// RDAP dispatcher's failure injection) mixes through this one function,
+// so the cross-package determinism contract has a single definition —
+// the derived decision for a (seed, domain) pair is the same everywhere.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // TLD returns the rightmost label of s, or "" for the root.
 func TLD(s string) string {
 	s = strings.TrimSuffix(s, ".")

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"darkdns/internal/dnsname"
+	"darkdns/internal/rdap"
 	"darkdns/internal/simclock"
 )
 
@@ -119,6 +120,12 @@ type Fleet struct {
 	// serialized by obsMu, probe ticks read it lock-free.
 	obsMu     sync.Mutex
 	observers atomic.Pointer[[]func(Observation)]
+
+	// dispatcher, when attached, couples the RDAP dispatch engine's
+	// counters into the fleet report — in the paper's deployment steps 2
+	// and 3 share the same Azure worker fleet, so the operational view
+	// of both belongs in one place.
+	dispatcher atomic.Pointer[rdap.Dispatcher]
 }
 
 // NewFleet creates a fleet over backend using clk for scheduling.
@@ -312,4 +319,54 @@ func (f *Fleet) Watched() int {
 		sh.mu.Unlock()
 	}
 	return n
+}
+
+// AttachDispatcher couples the RDAP dispatch engine's counters into
+// Report. Safe to call concurrently with probing.
+func (f *Fleet) AttachDispatcher(d *rdap.Dispatcher) {
+	f.dispatcher.Store(d)
+}
+
+// FleetReport summarizes the fleet's probe activity plus — when a
+// dispatcher is attached — the RDAP dispatch engine's counters.
+type FleetReport struct {
+	Watched    int   // domains ever scheduled
+	Finished   int   // watch windows closed
+	Probes     int64 // measurement rounds executed
+	EverInZone int   // domains observed delegated at least once
+	Died       int   // domains that left the zone while watched
+	NSChanged  int   // domains whose delegation changed mid-watch
+	// Dispatch holds the attached dispatcher's counters; zero-valued
+	// when step 2 runs on the serial path.
+	Dispatch rdap.DispatchStats
+}
+
+// Report aggregates the fleet's operational state.
+func (f *Fleet) Report() FleetReport {
+	var rep FleetReport
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		for _, st := range sh.states {
+			rep.Watched++
+			rep.Probes += int64(st.Probes)
+			if st.Finished {
+				rep.Finished++
+			}
+			if st.EverInZone {
+				rep.EverInZone++
+			}
+			if !st.DeadAt.IsZero() {
+				rep.Died++
+			}
+			if st.NSChanged {
+				rep.NSChanged++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if d := f.dispatcher.Load(); d != nil {
+		rep.Dispatch = d.Stats()
+	}
+	return rep
 }

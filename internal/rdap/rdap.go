@@ -1,8 +1,17 @@
 // Package rdap implements a Registration Data Access Protocol subset
 // (RFC 7480/9083): an HTTP server exposing /domain/{name} lookups backed
 // by registry data, a client that never retries failures (matching the
-// paper's collection policy), and per-source-address token-bucket rate
-// limiting (the cause of the ≈3 % collection failures in §4.2).
+// paper's collection policy), per-source-address token-bucket rate
+// limiting (the cause of the ≈3 % collection failures in §4.2), and an
+// asynchronous per-TLD dispatch engine (Dispatcher) modelling the paper's
+// Azure worker fleet: bounded per-TLD queues drained by worker pools,
+// with deterministic failure injection and queue-depth/latency counters.
+//
+// Concurrency model (DESIGN.md §6): the Mux routing table and the
+// Dispatcher's queue directory are immutable maps behind atomic.Pointer,
+// swapped copy-on-write; the RateLimiter's bucket table is striped over
+// independent locks keyed by client hash. Nothing on the lookup path
+// takes a global lock.
 package rdap
 
 import (
@@ -54,42 +63,55 @@ type BackendFunc func(name string) (*Record, error)
 func (f BackendFunc) RDAPDomain(name string) (*Record, error) { return f(name) }
 
 // Mux routes domains to per-TLD backends, like the IANA bootstrap registry.
+//
+// Routing is on the lookup hot path — with the dispatch engine every
+// worker resolves its backend through the Mux — so the routing table is a
+// copy-on-write map (cowMap): lookups take no lock; registrations
+// (bootstrap-table updates, rare) pay the clone.
 type Mux struct {
-	mu       sync.RWMutex
-	backends map[string]Backend
+	backends cowMap[Backend]
 }
 
 // NewMux creates an empty router.
 func NewMux() *Mux {
-	return &Mux{backends: make(map[string]Backend)}
+	return &Mux{}
 }
 
-// Handle registers the backend for tld.
+// Handle registers the backend for tld. Safe for concurrent use with
+// RDAPDomain; in-flight lookups keep routing through the previous table.
 func (m *Mux) Handle(tld string, b Backend) {
-	m.mu.Lock()
-	m.backends[dnsname.Canonical(tld)] = b
-	m.mu.Unlock()
+	m.backends.set(dnsname.Canonical(tld), b)
 }
 
-// RDAPDomain implements Backend by routing on the domain's TLD.
+// RDAPDomain implements Backend by routing on the domain's TLD. Lock-free.
 func (m *Mux) RDAPDomain(name string) (*Record, error) {
 	name = dnsname.Canonical(name)
-	m.mu.RLock()
-	b := m.backends[dnsname.TLD(name)]
-	m.mu.RUnlock()
-	if b == nil {
+	b, ok := m.backends.get(dnsname.TLD(name))
+	if !ok {
 		return nil, fmt.Errorf("%w: no RDAP service for %q", ErrUnavailable, dnsname.TLD(name))
 	}
 	return b.RDAPDomain(name)
 }
 
-// RateLimiter is a token bucket per client key.
-type RateLimiter struct {
+// limiterStripes is the number of independent locks the rate limiter's
+// bucket table is striped over. Client keys hash to a stripe, so a fleet
+// of workers cycling source addresses does not serialize on one lock.
+// Power of two for cheap masking.
+const limiterStripes = 64
+
+// limiterStripe is one stripe of the bucket table.
+type limiterStripe struct {
 	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// RateLimiter is a token bucket per client key, striped over
+// limiterStripes locks keyed by client hash.
+type RateLimiter struct {
 	rate    float64 // tokens per second
 	burst   float64
-	buckets map[string]*bucket
 	now     func() time.Time
+	stripes [limiterStripes]limiterStripe
 }
 
 type bucket struct {
@@ -102,19 +124,24 @@ func NewRateLimiter(rate, burst float64, now func() time.Time) *RateLimiter {
 	if now == nil {
 		now = time.Now
 	}
-	return &RateLimiter{rate: rate, burst: burst, buckets: make(map[string]*bucket), now: now}
+	rl := &RateLimiter{rate: rate, burst: burst, now: now}
+	for i := range rl.stripes {
+		rl.stripes[i].buckets = make(map[string]*bucket)
+	}
+	return rl
 }
 
 // Allow consumes one token for key, reporting whether the request may
-// proceed.
+// proceed. Distinct keys contend only within their hash stripe.
 func (rl *RateLimiter) Allow(key string) bool {
-	rl.mu.Lock()
-	defer rl.mu.Unlock()
+	st := &rl.stripes[dnsname.Hash64(key)&(limiterStripes-1)]
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	now := rl.now()
-	b := rl.buckets[key]
+	b := st.buckets[key]
 	if b == nil {
 		b = &bucket{tokens: rl.burst, last: now}
-		rl.buckets[key] = b
+		st.buckets[key] = b
 	}
 	b.tokens += now.Sub(b.last).Seconds() * rl.rate
 	if b.tokens > rl.burst {

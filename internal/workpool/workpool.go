@@ -1,0 +1,46 @@
+// Package workpool provides the bounded work-stealing loop the hot
+// paths share: N indexed items executed by up to W goroutines pulling
+// from an atomic counter, with a completion barrier. Both the ingest
+// engine's batch screening (core.HandleBatch) and the RDAP dispatch
+// engine's drain rounds (rdap.Dispatcher) run on it, so the hottest
+// concurrency idiom in the repo has one implementation to review.
+package workpool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Run invokes fn(i) for every i in [0, n), spreading calls over up to
+// workers goroutines, and returns once all calls complete. workers ≤ 1
+// (or n ≤ 1) executes serially on the caller's goroutine — the barrier
+// then costs nothing, which is what keeps single-threaded simulation
+// paths byte-identical to parallel ones. fn must be safe for concurrent
+// invocation with distinct indices.
+func Run(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
