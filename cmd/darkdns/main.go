@@ -24,6 +24,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "world seed")
 	ingestWorkers := flag.Int("ingest-workers", 0, "pipeline ingest mode: 0 = per-event, ≥1 = batched with this screening pool width (same results either way)")
 	rdapWorkers := flag.Int("rdap-workers", 0, "RDAP dispatch mode: 0 = serial lookups, ≥1 = async per-TLD queues drained by this worker pool width (same results either way)")
+	clockWorkers := flag.Int("clock-workers", 0, "event engine drain mode: 0 = serial event loop, ≥1 = batch-fire same-timestamp events through this worker pool width (same results either way)")
 	verbose := flag.Bool("v", false, "print every confirmed transient domain")
 	export := flag.String("export", "", "write candidates to this file in columnar format")
 	flag.Parse()
@@ -31,7 +32,7 @@ func main() {
 	start := time.Now()
 	res := analysis.Run(analysis.RunConfig{
 		Seed: *seed, Scale: *scale, Weeks: *weeks, WatchSampleRate: 1.0,
-		IngestWorkers: *ingestWorkers, RDAPWorkers: *rdapWorkers,
+		IngestWorkers: *ingestWorkers, RDAPWorkers: *rdapWorkers, ClockWorkers: *clockWorkers,
 	})
 	fmt.Printf("simulated %d weeks at scale %g in %v\n", *weeks, *scale, time.Since(start).Round(time.Millisecond))
 
@@ -55,6 +56,12 @@ func main() {
 	fr := res.Fleet.Report()
 	fmt.Printf("fleet: %d watched, %d probes, %d ever-in-zone, %d died, %d ns-changed\n",
 		fr.Watched, fr.Probes, fr.EverInZone, fr.Died, fr.NSChanged)
+	fmt.Printf("clock: %d events scheduled, %d fired over %d probe rounds (max round %d domains)\n",
+		fr.Engine.Scheduled, fr.Engine.Fired, fr.Rounds, fr.MaxRound)
+	if *clockWorkers > 0 {
+		fmt.Printf("  batched drain: %d groups, %d events coalesced, max batch %d\n",
+			fr.Engine.Rounds, fr.Engine.Coalesced, fr.Engine.MaxBatch)
+	}
 	if *rdapWorkers > 0 {
 		d := fr.Dispatch
 		fmt.Printf("rdap dispatch: %d enqueued, %d completed (%d failed), %d shed; %d TLD queues, max depth %d, avg latency %v\n",

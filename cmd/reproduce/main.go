@@ -28,21 +28,25 @@ func main() {
 	watch := flag.Float64("watch-sample", 1.0, "fraction of candidates probed by the fleet")
 	ingestWorkers := flag.Int("ingest-workers", 0, "pipeline ingest mode: 0 = per-event, ≥1 = batched with this screening pool width (byte-identical output either way)")
 	rdapWorkers := flag.Int("rdap-workers", 0, "RDAP dispatch mode: 0 = serial lookups, ≥1 = async per-TLD queues drained by this worker pool width (byte-identical output either way)")
+	clockWorkers := flag.Int("clock-workers", 0, "event engine drain mode: 0 = serial event loop, ≥1 = batch-fire same-timestamp events through this worker pool width (byte-identical output either way)")
 	exp := flag.String("exp", "all", "experiment to run (table1..table5, figure1, figure2, nsstability, rdapfail, blocklists, nod, cctld, rzu, mail, all)")
 	csvDir := flag.String("csv", "", "directory to write figure CSVs for external plotting")
 	flag.Parse()
 
-	fmt.Fprintf(os.Stderr, "building world (scale=%g, weeks=%d, seed=%d, ingest-workers=%d, rdap-workers=%d)…\n",
-		*scale, *weeks, *seed, *ingestWorkers, *rdapWorkers)
+	fmt.Fprintf(os.Stderr, "building world (scale=%g, weeks=%d, seed=%d, ingest-workers=%d, rdap-workers=%d, clock-workers=%d)…\n",
+		*scale, *weeks, *seed, *ingestWorkers, *rdapWorkers, *clockWorkers)
 	start := time.Now()
 	res := analysis.Run(analysis.RunConfig{
 		Seed: *seed, Scale: *scale, Weeks: *weeks, WatchSampleRate: *watch, ProbeMail: true,
-		IngestWorkers: *ingestWorkers, RDAPWorkers: *rdapWorkers,
+		IngestWorkers: *ingestWorkers, RDAPWorkers: *rdapWorkers, ClockWorkers: *clockWorkers,
 	})
 	fmt.Fprintf(os.Stderr, "simulation complete in %v: %d candidates, %d transient lower bound\n",
 		time.Since(start).Round(time.Millisecond), res.Pipeline.Len(), len(res.Report.LowerBound))
+	fr := res.Fleet.Report()
+	fmt.Fprintf(os.Stderr, "event engine: %d scheduled, %d fired; fleet coalesced %d probes into %d rounds (max %d wide)\n",
+		fr.Engine.Scheduled, fr.Engine.Fired, fr.Probes, fr.Rounds, fr.MaxRound)
 	if *rdapWorkers > 0 {
-		d := res.Fleet.Report().Dispatch
+		d := fr.Dispatch
 		fmt.Fprintf(os.Stderr, "rdap dispatch: %d enqueued, %d completed (%d failed), %d shed over %d TLD queues (max depth %d)\n",
 			d.Enqueued, d.Completed, d.Failed, d.Shed, d.TLDs, d.MaxDepth)
 	}

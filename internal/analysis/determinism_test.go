@@ -98,3 +98,41 @@ func TestSerialParallelRDAPDispatchIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestSerialBatchedClockCampaignsIdentical: the same byte-identity must
+// hold for the event engine's drain mode — the serial heap-order drain
+// (ClockWorkers=0), batch-firing with a single-width pool
+// (ClockWorkers=1, which degenerates to exact serial order), and a wide
+// pool (ClockWorkers=8), alone and stacked with the batched ingest and
+// dispatch engines so parallel-marked due-timer cohorts actually fire
+// concurrently. This is the acceptance bar for the timer-wheel engine:
+// Run and RunBatched(N) are unobservable to a campaign.
+func TestSerialBatchedClockCampaignsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full campaigns")
+	}
+	base := RunConfig{Seed: 41, Scale: 0.0008, Weeks: 2, WatchSampleRate: 1.0, ProbeMail: true}
+	render := func(cfg RunConfig) []byte {
+		r := Run(cfg)
+		var buf bytes.Buffer
+		if err := WriteReport(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(base)
+	for _, cfg := range []RunConfig{
+		{ClockWorkers: 1},
+		{ClockWorkers: 8},
+		{ClockWorkers: 8, RDAPWorkers: 8, IngestWorkers: 8},
+	} {
+		run := base
+		run.ClockWorkers = cfg.ClockWorkers
+		run.RDAPWorkers = cfg.RDAPWorkers
+		run.IngestWorkers = cfg.IngestWorkers
+		if got := render(run); !bytes.Equal(serial, got) {
+			t.Errorf("clock-workers=%d rdap-workers=%d ingest-workers=%d report diverges from serial",
+				cfg.ClockWorkers, cfg.RDAPWorkers, cfg.IngestWorkers)
+		}
+	}
+}

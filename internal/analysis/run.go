@@ -48,6 +48,13 @@ type RunConfig struct {
 	// worker-pool width. Like IngestWorkers, campaign results are
 	// byte-identical across modes for a fixed seed.
 	RDAPWorkers int
+	// ClockWorkers selects the event engine's drain mode: 0 fires events
+	// one at a time (the serial path), ≥1 drains the campaign through
+	// Sim.RunBatched — same-timestamp events pop as one group and runs
+	// of parallel-marked events fire through a pool this wide behind a
+	// completion barrier. Campaign reports are byte-identical across 0,
+	// 1 and N workers (the engine's determinism contract).
+	ClockWorkers int
 }
 
 // DefaultRunConfig is sized for test and example runs: ≈1/500 of paper
@@ -91,7 +98,11 @@ func Run(cfg RunConfig) *Results {
 	} else {
 		p.Start(w.Hub)
 	}
-	w.Run()
+	if cfg.ClockWorkers > 0 {
+		w.RunBatched(cfg.ClockWorkers)
+	} else {
+		w.Run()
+	}
 	p.Stop()
 
 	return &Results{

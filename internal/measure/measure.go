@@ -5,6 +5,15 @@
 // nameservers so that zone removal is detected precisely (and lame
 // delegations are not misread as deletions). A and AAAA go through
 // caching resolvers clamped to a 60-second TTL.
+//
+// Scheduling is round-coalesced: instead of one clock event per probe
+// per domain (≈290 heap events per watched domain over 48 h), the fleet
+// arms a single clock event per 10-minute round and probes every active
+// watch in that round through its worker pool — the probe batch resolves
+// concurrently (backend reads are side-effect-free), then states update
+// and observers fire serially in watch-admission order, which is exactly
+// the delivery order the per-domain scheduler produced. Event count per
+// campaign therefore scales with rounds, not probes.
 package measure
 
 import (
@@ -18,6 +27,7 @@ import (
 	"darkdns/internal/dnsname"
 	"darkdns/internal/rdap"
 	"darkdns/internal/simclock"
+	"darkdns/internal/workpool"
 )
 
 // Backend is the fleet's view of the DNS. The simulation wires it to
@@ -71,7 +81,9 @@ type DomainState struct {
 	EverInZone  bool
 	LastAliveAt time.Time // last probe with a valid NS answer
 	DeadAt      time.Time // first probe with NXDOMAIN after being alive
-	Finished    bool      // 48-hour window elapsed
+	Finished    bool      // 48-hour window elapsed (or StopWhenDead hit)
+
+	worker int // fleet worker assigned to this domain's probes
 }
 
 // Config parameterizes the fleet.
@@ -113,8 +125,25 @@ type Fleet struct {
 	clk     simclock.Clock
 	backend Backend
 
-	shards   [watchShards]watchShard
-	nextWork atomic.Int64
+	shards  [watchShards]watchShard
+	nextSeq atomic.Int64 // watch admissions: ordering + worker assignment
+	active  atomic.Int64 // unfinished watches; rounds stay armed while > 0
+
+	// watchList is the admission-ordered registry the round scheduler
+	// iterates — Watch appends, dueTargets skips retired entries and
+	// compacts once they dominate, so a round never re-sorts or walks
+	// the shard maps. Guarded by watchMu; never locked while holding a
+	// shard lock.
+	watchMu   sync.Mutex
+	watchList []*DomainState
+
+	// Round scheduler: one clock event serves every due domain. armed
+	// guards against double-arming when Watch races the round callback.
+	roundMu sync.Mutex
+	armed   bool
+
+	rounds   atomic.Int64 // coalesced rounds executed
+	maxRound atomic.Int64 // widest round (domains probed in one event)
 
 	// observers is a copy-on-write list: registrations are rare and
 	// serialized by obsMu, probe ticks read it lock-free.
@@ -167,7 +196,9 @@ func (f *Fleet) OnObservation(fn func(Observation)) {
 }
 
 // Watch begins the 48-hour probe schedule for domain. Re-watching an
-// already-watched domain is a no-op. The first probe fires immediately.
+// already-watched domain is a no-op. The first probe fires immediately
+// (detection triggers the watch, as in the paper); subsequent probes
+// ride the fleet's coalesced rounds.
 func (f *Fleet) Watch(domain string) {
 	domain = dnsname.Canonical(domain)
 	sh := f.shard(domain)
@@ -176,78 +207,162 @@ func (f *Fleet) Watch(domain string) {
 		sh.mu.Unlock()
 		return
 	}
-	now := f.clk.Now()
-	st := &DomainState{Domain: domain, Started: now}
+	st := &DomainState{
+		Domain:  domain,
+		Started: f.clk.Now(),
+		worker:  int(f.nextSeq.Add(1)-1) % f.cfg.Workers,
+	}
 	sh.states[domain] = st
 	sh.mu.Unlock()
-	worker := int(f.nextWork.Add(1)-1) % f.cfg.Workers
+	f.active.Add(1)
 
-	var probe func()
-	probe = func() {
-		done := f.probeOnce(domain, worker)
-		if done {
-			return
-		}
-		f.clk.After(f.cfg.Interval, probe)
-	}
-	probe()
+	// The admission probe fires before the state joins watchList: under
+	// the real-time clock a round on the timer goroutine could otherwise
+	// snapshot the list mid-admission and probe the same state
+	// concurrently. Under a Sim clock Watch runs inside a clock event,
+	// so the ordering is unobservable there.
+	f.probeRound([]*DomainState{st})
+	f.watchMu.Lock()
+	f.watchList = append(f.watchList, st)
+	f.watchMu.Unlock()
+	f.armRound()
 }
 
-// probeOnce performs one A/AAAA/NS measurement round. It returns true when
-// the watch window has closed.
-func (f *Fleet) probeOnce(domain string, worker int) bool {
-	now := f.clk.Now()
-	sh := f.shard(domain)
-	sh.mu.Lock()
-	st := sh.states[domain]
-	if st == nil {
-		sh.mu.Unlock()
-		return true
+// armRound schedules the next coalesced probe round while any watch is
+// active: one clock event per interval serves every due domain, which is
+// what collapses the fleet's event count from probes to rounds. When the
+// last watch retires the chain disarms, so a fully-drained clock stays
+// drained.
+func (f *Fleet) armRound() {
+	f.roundMu.Lock()
+	if f.armed || f.active.Load() == 0 {
+		f.roundMu.Unlock()
+		return
 	}
-	if now.Sub(st.Started) > f.cfg.Window {
-		st.Finished = true
-		sh.mu.Unlock()
-		return true
-	}
-	sh.mu.Unlock()
+	f.armed = true
+	f.roundMu.Unlock()
+	f.clk.After(f.cfg.Interval, f.round)
+}
 
-	ns, inZone := f.backend.AuthoritativeNS(domain)
-	obs := Observation{Domain: domain, Worker: worker, At: now, InZone: inZone}
-	var mx, txt []string
-	if inZone {
-		obs.NS = append([]string(nil), ns...)
-		sort.Strings(obs.NS)
-		obs.V4 = f.backend.LookupA(domain)
-		obs.V6 = f.backend.LookupAAAA(domain)
-		if f.cfg.ProbeMail {
-			if mb, ok := f.backend.(MailBackend); ok {
-				mx = mb.LookupMX(domain)
-				txt = mb.LookupTXT(domain)
+// round is the per-interval clock event: snapshot the active watch set,
+// probe it as one batch, re-arm while work remains.
+func (f *Fleet) round() {
+	f.roundMu.Lock()
+	f.armed = false
+	f.roundMu.Unlock()
+
+	targets := f.dueTargets(f.clk.Now())
+	if len(targets) > 0 {
+		f.rounds.Add(1)
+		workpool.AtomicMax(&f.maxRound, int64(len(targets)))
+		f.probeRound(targets)
+	}
+	f.armRound()
+}
+
+// dueTargets snapshots the active watch set, retiring watches whose
+// 48-hour window has elapsed. watchList is already in admission order,
+// so no per-round sort or shard-map walk is needed; retired entries
+// compact away once they outnumber the living.
+func (f *Fleet) dueTargets(now time.Time) []*DomainState {
+	f.watchMu.Lock()
+	defer f.watchMu.Unlock()
+	due := make([]*DomainState, 0, len(f.watchList))
+	for _, st := range f.watchList {
+		sh := f.shard(st.Domain)
+		sh.mu.Lock()
+		fin := st.Finished
+		if !fin && now.Sub(st.Started) > f.cfg.Window {
+			st.Finished = true
+			fin = true
+			f.active.Add(-1)
+		}
+		sh.mu.Unlock()
+		if !fin {
+			due = append(due, st)
+		}
+	}
+	if len(due)*2 < len(f.watchList) {
+		f.watchList = append(make([]*DomainState, 0, len(due)), due...)
+	}
+	return due
+}
+
+// roundResult is one domain's resolved probe within a batch.
+type roundResult struct {
+	obs Observation
+	mx  []string
+	txt []string
+}
+
+// probeRound executes one coalesced measurement round. Stage 1 resolves
+// the whole batch concurrently on the fleet's worker pool — backend
+// reads are side-effect-free, so execution order is unobservable.
+// Stage 2 applies state updates and delivers observations serially in
+// watch-admission order, the order the per-domain scheduler produced;
+// pool width therefore never reorders an observable, and campaigns stay
+// byte-identical across serial and batched clock drains.
+func (f *Fleet) probeRound(targets []*DomainState) {
+	if len(targets) == 0 {
+		return
+	}
+	now := f.clk.Now()
+	results := make([]roundResult, len(targets))
+	mb, hasMail := f.backend.(MailBackend)
+	probeMail := f.cfg.ProbeMail && hasMail
+	workpool.Run(len(targets), f.cfg.Workers, func(i int) {
+		st := targets[i]
+		obs := Observation{Domain: st.Domain, Worker: st.worker, At: now}
+		ns, inZone := f.backend.AuthoritativeNS(st.Domain)
+		obs.InZone = inZone
+		if inZone {
+			obs.NS = append([]string(nil), ns...)
+			sort.Strings(obs.NS)
+			obs.V4 = f.backend.LookupA(st.Domain)
+			obs.V6 = f.backend.LookupAAAA(st.Domain)
+			if probeMail {
+				results[i].mx = mb.LookupMX(st.Domain)
+				results[i].txt = mb.LookupTXT(st.Domain)
+			}
+		}
+		results[i].obs = obs
+	})
+
+	obsFns := f.observers.Load()
+	for i, st := range targets {
+		f.apply(st, &results[i], now)
+		if obsFns != nil {
+			for _, fn := range *obsFns {
+				fn(results[i].obs)
 			}
 		}
 	}
+}
 
-	dead := false
+// apply records one resolved probe into the domain's aggregate state.
+func (f *Fleet) apply(st *DomainState, r *roundResult, now time.Time) {
+	sh := f.shard(st.Domain)
 	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	st.Probes++
-	if inZone {
+	if r.obs.InZone {
 		st.EverInZone = true
 		st.LastAliveAt = now
 		if st.FirstNS == nil {
-			st.FirstNS = obs.NS
+			st.FirstNS = r.obs.NS
 		}
-		if !equalStrings(st.FirstNS, obs.NS) && !st.NSChanged {
+		if !equalStrings(st.FirstNS, r.obs.NS) && !st.NSChanged {
 			st.NSChanged = true
 			st.NSChangedAt = now
 		}
-		st.LastNS = obs.NS
-		if st.FirstV4 == nil && len(obs.V4) > 0 {
-			st.FirstV4 = obs.V4
+		st.LastNS = r.obs.NS
+		if st.FirstV4 == nil && len(r.obs.V4) > 0 {
+			st.FirstV4 = r.obs.V4
 		}
-		if len(mx) > 0 {
+		if len(r.mx) > 0 {
 			st.HasMX = true
 		}
-		for _, s := range txt {
+		for _, s := range r.txt {
 			if strings.HasPrefix(s, "v=spf1") {
 				st.HasSPF = true
 			}
@@ -255,18 +370,10 @@ func (f *Fleet) probeOnce(domain string, worker int) bool {
 	} else if st.EverInZone && st.DeadAt.IsZero() {
 		st.DeadAt = now
 	}
-	if f.cfg.StopWhenDead && !st.DeadAt.IsZero() {
+	if f.cfg.StopWhenDead && !st.DeadAt.IsZero() && !st.Finished {
 		st.Finished = true
-		dead = true
+		f.active.Add(-1)
 	}
-	sh.mu.Unlock()
-
-	if p := f.observers.Load(); p != nil {
-		for _, fn := range *p {
-			fn(obs)
-		}
-	}
-	return dead
 }
 
 func equalStrings(a, b []string) bool {
@@ -328,17 +435,23 @@ func (f *Fleet) AttachDispatcher(d *rdap.Dispatcher) {
 }
 
 // FleetReport summarizes the fleet's probe activity plus — when a
-// dispatcher is attached — the RDAP dispatch engine's counters.
+// dispatcher is attached — the RDAP dispatch engine's counters, and —
+// when the fleet runs on a Sim clock — the event engine's counters.
 type FleetReport struct {
 	Watched    int   // domains ever scheduled
 	Finished   int   // watch windows closed
-	Probes     int64 // measurement rounds executed
+	Probes     int64 // probes executed
 	EverInZone int   // domains observed delegated at least once
 	Died       int   // domains that left the zone while watched
 	NSChanged  int   // domains whose delegation changed mid-watch
+	Rounds     int64 // coalesced probe rounds executed (clock events)
+	MaxRound   int   // most domains probed in one round
 	// Dispatch holds the attached dispatcher's counters; zero-valued
 	// when step 2 runs on the serial path.
 	Dispatch rdap.DispatchStats
+	// Engine holds the simulated clock's event counters; zero-valued
+	// under the real-time clock.
+	Engine simclock.Stats
 }
 
 // Report aggregates the fleet's operational state.
@@ -365,8 +478,13 @@ func (f *Fleet) Report() FleetReport {
 		}
 		sh.mu.Unlock()
 	}
+	rep.Rounds = f.rounds.Load()
+	rep.MaxRound = int(f.maxRound.Load())
 	if d := f.dispatcher.Load(); d != nil {
 		rep.Dispatch = d.Stats()
+	}
+	if eng, ok := f.clk.(interface{ Stats() simclock.Stats }); ok {
+		rep.Engine = eng.Stats()
 	}
 	return rep
 }

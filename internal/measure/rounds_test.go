@@ -1,0 +1,118 @@
+package measure
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"darkdns/internal/simclock"
+)
+
+// TestRoundCoalescingEventCount: the acceptance bar for the round
+// scheduler — probing a population through full 48-hour windows must
+// book at least 10× fewer clock events than the per-probe design's one
+// event per probe.
+func TestRoundCoalescingEventCount(t *testing.T) {
+	b := newFakeBackend()
+	clk := simclock.NewSim(t0)
+	f := NewFleet(DefaultConfig(), clk, b)
+	const domains = 64
+	for i := 0; i < domains; i++ {
+		d := domainN(i)
+		b.set(d, []string{"ns1.a.net"})
+		f.Watch(d)
+	}
+	clk.Advance(49 * time.Hour)
+
+	rep := f.Report()
+	if rep.Probes < domains*280 {
+		t.Fatalf("only %d probes for %d domains", rep.Probes, domains)
+	}
+	st := clk.Stats()
+	if st.Scheduled*10 > rep.Probes {
+		t.Errorf("scheduled %d clock events for %d probes; want ≥10× coalescing",
+			st.Scheduled, rep.Probes)
+	}
+	if rep.Rounds == 0 || rep.MaxRound != domains {
+		t.Errorf("round counters: rounds=%d maxRound=%d", rep.Rounds, rep.MaxRound)
+	}
+	if rep.Engine.Scheduled != st.Scheduled {
+		t.Errorf("engine stats not coupled into report: %+v", rep.Engine)
+	}
+}
+
+// TestRoundSchedulerDisarmsWhenIdle: once every watch retires, the round
+// chain must stop re-arming so a drain-everything Run terminates and an
+// idle fleet costs zero events.
+func TestRoundSchedulerDisarmsWhenIdle(t *testing.T) {
+	b := newFakeBackend()
+	clk := simclock.NewSim(t0)
+	f := NewFleet(DefaultConfig(), clk, b)
+	b.set("x.com", []string{"ns1.a.net"})
+	f.Watch("x.com")
+	clk.Run() // must terminate: the window closes and the chain disarms
+	if clk.Pending() != 0 {
+		t.Fatalf("%d events pending after drain", clk.Pending())
+	}
+	st, _ := f.State("x.com")
+	if !st.Finished {
+		t.Fatalf("watch not finished: %+v", st)
+	}
+	// A fresh watch after quiescence re-arms.
+	b.set("y.com", []string{"ns1.a.net"})
+	f.Watch("y.com")
+	if clk.Pending() == 0 {
+		t.Fatal("round chain did not re-arm for a new watch")
+	}
+}
+
+// TestRoundObservationsDeterministicAcrossPoolWidths: a fixed probe
+// schedule must deliver byte-identical observation streams whatever the
+// fleet pool width and whichever clock drain mode runs it — the
+// fleet-level half of the campaign determinism contract.
+func TestRoundObservationsDeterministicAcrossPoolWidths(t *testing.T) {
+	type runMode struct {
+		name    string
+		workers int
+		drain   func(*simclock.Sim)
+	}
+	modes := []runMode{
+		{"serial-w1", 1, func(s *simclock.Sim) { s.Advance(49 * time.Hour) }},
+		{"serial-w16", 16, func(s *simclock.Sim) { s.Advance(49 * time.Hour) }},
+		{"batched-w16", 16, func(s *simclock.Sim) { s.RunUntilBatched(t0.Add(49*time.Hour), 8) }},
+	}
+	logs := make(map[string][]string)
+	for _, m := range modes {
+		b := newFakeBackend()
+		clk := simclock.NewSim(t0)
+		cfg := DefaultConfig()
+		cfg.Workers = m.workers
+		f := NewFleet(cfg, clk, b)
+		var log []string
+		f.OnObservation(func(o Observation) {
+			log = append(log, fmt.Sprintf("%s|%s|%v|%v", o.At.Format(time.RFC3339), o.Domain, o.InZone, o.NS))
+		})
+		for i := 0; i < 40; i++ {
+			d := domainN(i)
+			b.set(d, []string{"ns1.a.net"})
+			f.Watch(d)
+		}
+		clk.Advance(2 * time.Hour)
+		for i := 0; i < 40; i += 3 {
+			b.set(domainN(i), nil) // takedown wave
+		}
+		m.drain(clk)
+		logs[m.name] = log
+	}
+	want := logs[modes[0].name]
+	if len(want) == 0 {
+		t.Fatal("no observations")
+	}
+	for _, m := range modes[1:] {
+		if !reflect.DeepEqual(want, logs[m.name]) {
+			t.Errorf("%s observation stream diverges from %s (%d vs %d)",
+				m.name, modes[0].name, len(logs[m.name]), len(want))
+		}
+	}
+}

@@ -170,7 +170,11 @@ func (d *Dispatcher) Enqueue(q Query) bool {
 
 	pq := pendingQuery{Query: q, at: d.clk.Now(), fail: q.InjectFailure || d.injectFail(domain)}
 	pq.Domain = domain
-	d.clk.After(q.Delay, func() {
+	// The due-timer is parallel-marked: queries sharing an instant are
+	// commutative (per-query outcomes derive from (seed, domain) and the
+	// frozen simulated time; counters are sums), so a batched clock drain
+	// may fire a whole cohort of due-timers concurrently.
+	simclock.AfterPar(d.clk, q.Delay, func() {
 		tq.mu.Lock()
 		tq.ready = append(tq.ready, pq)
 		tq.mu.Unlock()

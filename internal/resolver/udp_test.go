@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net"
 	"net/netip"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -96,10 +97,9 @@ func TestUDPExchangerTimesOut(t *testing.T) {
 }
 
 func TestUDPExchangerRetriesAfterDrop(t *testing.T) {
-	calls := 0
+	var calls atomic.Int32 // written on the responder goroutine, read here
 	addr := udpResponder(t, func(q *dnsmsg.Message) [][]byte {
-		calls++
-		if calls == 1 {
+		if calls.Add(1) == 1 {
 			return nil // drop the first query
 		}
 		return [][]byte{answer(q, "192.0.2.3")}
@@ -112,8 +112,8 @@ func TestUDPExchangerRetriesAfterDrop(t *testing.T) {
 	if len(resp.Answers) != 1 {
 		t.Fatal("no answer after retry")
 	}
-	if calls < 2 {
-		t.Errorf("server saw %d queries, want ≥2", calls)
+	if n := calls.Load(); n < 2 {
+		t.Errorf("server saw %d queries, want ≥2", n)
 	}
 }
 

@@ -1,0 +1,272 @@
+package simclock
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// buildTimeline schedules a deterministic mixed workload on s: serial
+// events, parallel events, wheel-range and overflow-range timestamps,
+// heavy timestamp collisions, and callbacks that schedule further
+// events. record must be safe for the caller's drain mode.
+func buildTimeline(s *Sim, record func(tag string)) {
+	for i := 0; i < 200; i++ {
+		i := i
+		// 20 distinct instants → 10-way collisions, inside the wheel.
+		s.After(time.Duration(i%20)*time.Minute, func() { record(fmt.Sprintf("ser-%d", i)) })
+	}
+	for i := 0; i < 200; i++ {
+		i := i
+		// Parallel events sharing those instants: commutative recording.
+		s.AfterPar(time.Duration(i%20)*time.Minute, func() { record(fmt.Sprintf("par-%d", i)) })
+	}
+	for i := 0; i < 50; i++ {
+		i := i
+		// Overflow heap: beyond the wheel horizon.
+		s.After(wheelSpan+time.Duration(i)*time.Hour, func() { record(fmt.Sprintf("far-%d", i)) })
+	}
+	// Cascades: firing schedules more work, some landing on occupied
+	// instants, some zero-delay.
+	for i := 0; i < 20; i++ {
+		i := i
+		s.After(time.Duration(i)*time.Minute, func() {
+			record(fmt.Sprintf("cascade-%d", i))
+			s.After(0, func() { record(fmt.Sprintf("resched-%d", i)) })
+			s.AfterPar(5*time.Minute, func() { record(fmt.Sprintf("respar-%d", i)) })
+		})
+	}
+}
+
+// drainRecorded runs one timeline through the given drain and returns
+// the multiset-per-instant observation log: a slice of "instant|tag"
+// strings sorted within each instant for parallel tags only is too
+// clever — instead tags are recorded in delivery order and the caller
+// decides how to compare.
+func drainRecorded(t *testing.T, drain func(s *Sim) int) []string {
+	t.Helper()
+	s := NewSim(epoch)
+	var mu sync.Mutex
+	var log []string
+	buildTimeline(s, func(tag string) {
+		now := s.Now()
+		mu.Lock()
+		log = append(log, now.Format(time.RFC3339)+"|"+tag)
+		mu.Unlock()
+	})
+	if n := drain(s); n != len(log) {
+		t.Fatalf("drain fired %d, log has %d", n, len(log))
+	}
+	return log
+}
+
+// TestBatchedMatchesSerialExactly: RunBatched(1) must reproduce Run's
+// delivery order byte for byte — a single-width pool degenerates to the
+// serial engine.
+func TestBatchedMatchesSerialExactly(t *testing.T) {
+	serial := drainRecorded(t, func(s *Sim) int { return s.Run() })
+	batched1 := drainRecorded(t, func(s *Sim) int { return s.RunBatched(1) })
+	if !reflect.DeepEqual(serial, batched1) {
+		t.Fatal("RunBatched(1) delivery order diverges from Run")
+	}
+}
+
+// TestBatchedWideIsPermutationWithinInstants: RunBatched(8) may reorder
+// parallel events within one instant but nothing else — every instant's
+// multiset of tags, and the order of instants, must match the serial
+// drain. Serial (non-par) events must additionally keep their exact
+// relative order.
+func TestBatchedWideIsPermutationWithinInstants(t *testing.T) {
+	serial := drainRecorded(t, func(s *Sim) int { return s.Run() })
+	wide := drainRecorded(t, func(s *Sim) int { return s.RunBatched(8) })
+	if len(serial) != len(wide) {
+		t.Fatalf("fired %d vs %d", len(serial), len(wide))
+	}
+	count := func(log []string) map[string]int {
+		m := make(map[string]int, len(log))
+		for _, e := range log {
+			m[e]++
+		}
+		return m
+	}
+	if !reflect.DeepEqual(count(serial), count(wide)) {
+		t.Fatal("RunBatched(8) fired a different instant|tag multiset than Run")
+	}
+	// Serial (non-par) events are ordering barriers: their relative
+	// order must survive the wide pool exactly.
+	serialOnly := func(log []string) []string {
+		var out []string
+		for _, e := range log {
+			if !strings.Contains(e, "|par-") && !strings.Contains(e, "|respar-") {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(serialOnly(serial), serialOnly(wide)) {
+		t.Fatal("RunBatched(8) reordered serial events within a group")
+	}
+}
+
+// TestAdvanceDeadlineSingleCriticalSection: the Advance deadline derives
+// from now inside the drain itself, so an event that advances a second
+// clock reference or a concurrent scheduler cannot shift it. Guarded by
+// firing an event exactly at the deadline boundary scheduled from
+// another goroutine racing Advance's entry.
+func TestAdvanceDeadlineSingleCriticalSection(t *testing.T) {
+	for trial := 0; trial < 100; trial++ {
+		s := NewSim(epoch)
+		var fired atomic.Int32
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.After(time.Second, func() { fired.Add(1) })
+		}()
+		n := s.Advance(time.Second)
+		wg.Wait()
+		// Whatever the interleaving, the deadline is epoch+1s: if the
+		// racing After landed before the drain began it fired, else it
+		// is still pending — but it can never be lost or double-fired.
+		total := int(fired.Load()) + s.Pending()
+		if total != 1 || n != int(fired.Load()) {
+			t.Fatalf("trial %d: fired=%d pending=%d n=%d", trial, fired.Load(), s.Pending(), n)
+		}
+		s.Run()
+		if fired.Load() != 1 {
+			t.Fatalf("trial %d: event lost", trial)
+		}
+	}
+}
+
+// TestWheelOverflowBoundary: events straddling the wheel horizon land in
+// both structures and still fire in global timestamp order.
+func TestWheelOverflowBoundary(t *testing.T) {
+	s := NewSim(epoch)
+	var got []time.Duration
+	offsets := []time.Duration{
+		0, time.Nanosecond, wheelTick - 1, wheelTick,
+		wheelSpan - time.Nanosecond, wheelSpan, wheelSpan + time.Nanosecond,
+		wheelSpan + 24*time.Hour, 2 * wheelSpan, 90 * 24 * time.Hour,
+	}
+	// Schedule in reverse to defeat schedule-order accidents.
+	for i := len(offsets) - 1; i >= 0; i-- {
+		d := offsets[i]
+		s.After(d, func() { got = append(got, d) })
+	}
+	if n := s.Run(); n != len(offsets) {
+		t.Fatalf("fired %d, want %d", n, len(offsets))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("out of order at %d: %v", i, got)
+		}
+	}
+	if !s.Now().Equal(epoch.Add(offsets[len(offsets)-1])) {
+		t.Fatalf("Now() = %v", s.Now())
+	}
+}
+
+// TestWheelWrap: the ring must stay correct when simulated time crosses
+// the wheel span many times with events continually rescheduling.
+func TestWheelWrap(t *testing.T) {
+	s := NewSim(epoch)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 2000 {
+			s.After(17*time.Minute, tick) // co-prime with the tick width
+		}
+	}
+	s.After(0, tick)
+	if n := s.Run(); n != 2000 {
+		t.Fatalf("fired %d, want 2000", n)
+	}
+	if want := epoch.Add(1999 * 17 * time.Minute); !s.Now().Equal(want) {
+		t.Fatalf("Now() = %v, want %v", s.Now(), want)
+	}
+}
+
+// TestStatsCounters: the engine books scheduled/fired symmetrically and
+// the batched drain tracks rounds and coalescing width.
+func TestStatsCounters(t *testing.T) {
+	s := NewSim(epoch)
+	for i := 0; i < 12; i++ {
+		s.AfterPar(time.Minute, func() {})
+	}
+	s.After(2*time.Minute, func() {})
+	s.RunBatched(4)
+	st := s.Stats()
+	if st.Scheduled != 13 || st.Fired != 13 || st.Pending != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Rounds != 2 || st.MaxBatch != 12 || st.Coalesced != 12 {
+		t.Fatalf("batch stats: %+v", st)
+	}
+}
+
+// TestBatchedRaceHammer drives concurrent After/AfterPar/At/Now/Pending
+// callers against a batched drain — the -race guard for the engine's
+// locking. Every scheduled event must fire exactly once.
+func TestBatchedRaceHammer(t *testing.T) {
+	s := NewSim(epoch)
+	var fired atomic.Int64
+	var scheduled atomic.Int64
+	bump := func() { fired.Add(1) }
+
+	// Seed work so the drain has something to chew while hammers run.
+	for i := 0; i < 500; i++ {
+		scheduled.Add(1)
+		s.AfterPar(time.Duration(i%50)*time.Second, bump)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				switch i % 4 {
+				case 0:
+					scheduled.Add(1)
+					s.After(time.Duration(i%90)*time.Second, bump)
+				case 1:
+					scheduled.Add(1)
+					s.AfterPar(time.Duration(i%90)*time.Second, bump)
+				case 2:
+					scheduled.Add(1)
+					s.At(s.Now().Add(time.Duration(g)*time.Minute), bump)
+				default:
+					_ = s.Now()
+					_ = s.Pending()
+					_, _ = s.NextAt()
+					_ = s.Stats()
+				}
+			}
+		}(g)
+	}
+
+	// Drain in rounds until the hammers finish and the queue is empty.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		s.RunBatched(4)
+		select {
+		case <-done:
+			s.RunBatched(4) // final sweep for late schedulers
+			if s.Pending() != 0 {
+				s.RunBatched(4)
+			}
+			if got, want := fired.Load(), scheduled.Load(); got != want {
+				t.Fatalf("fired %d of %d scheduled", got, want)
+			}
+			return
+		default:
+		}
+	}
+}

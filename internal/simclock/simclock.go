@@ -8,14 +8,28 @@
 // The package provides two implementations:
 //
 //   - Real: a thin adapter over the time package.
-//   - Sim: a discrete-event simulator. Goroutine-safe; timers fire in
-//     timestamp order when the owner calls Advance or Run.
+//   - Sim: a discrete-event engine. Goroutine-safe; timers fire in
+//     timestamp order when the owner calls Advance, Run or their batched
+//     counterparts.
+//
+// Sim stores events in a timer wheel (coarse buckets plus an overflow
+// heap, wheel.go), so pushing the dominant near-future events is O(1),
+// and offers two draining modes: the serial mode fires one callback per
+// event in (timestamp, schedule-order) order, and the batched mode
+// (RunBatched/RunUntilBatched) pops every event sharing a timestamp as
+// one group and fires runs of parallel-marked events (AfterPar) through
+// a worker pool behind a completion barrier. Parallel-marked callbacks
+// must be commutative with other same-instant parallel callbacks; under
+// that contract serial and batched drains produce byte-identical
+// campaigns at any pool width.
 package simclock
 
 import (
-	"container/heap"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"darkdns/internal/workpool"
 )
 
 // Clock abstracts time for simulation. Implementations must be safe for
@@ -32,6 +46,26 @@ type Clock interface {
 	At(t time.Time, fn func())
 }
 
+// ParScheduler is the optional Clock extension for callbacks that are
+// safe to fire concurrently with other same-instant parallel callbacks.
+// Sim's batched drain may run them on a worker pool; serial drains (and
+// clocks without the extension) fire them like any other event.
+type ParScheduler interface {
+	// AfterPar schedules fn like Clock.After while declaring it
+	// commutative with every other parallel event at the same instant.
+	AfterPar(d time.Duration, fn func())
+}
+
+// AfterPar schedules fn on clk, marking it parallel-safe when the clock
+// supports batched firing, and falling back to clk.After otherwise.
+func AfterPar(clk Clock, d time.Duration, fn func()) {
+	if ps, ok := clk.(ParScheduler); ok {
+		ps.AfterPar(d, fn)
+		return
+	}
+	clk.After(d, fn)
+}
+
 // Real is a Clock backed by the machine's real time.
 type Real struct{}
 
@@ -40,6 +74,10 @@ func (Real) Now() time.Time { return time.Now() }
 
 // After implements Clock.
 func (Real) After(d time.Duration, fn func()) { time.AfterFunc(d, fn) }
+
+// AfterPar implements ParScheduler: real-time timers already fire on
+// their own goroutines, so parallel marking is a no-op.
+func (Real) AfterPar(d time.Duration, fn func()) { time.AfterFunc(d, fn) }
 
 // At implements Clock.
 func (r Real) At(t time.Time, fn func()) {
@@ -50,50 +88,35 @@ func (r Real) At(t time.Time, fn func()) {
 	time.AfterFunc(d, fn)
 }
 
-// event is a scheduled callback in the simulated timeline.
-type event struct {
-	at  time.Time
-	seq uint64 // tie-break so equal timestamps fire in schedule order
-	fn  func()
-}
-
-// eventHeap orders events by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at.Equal(h[j].at) {
-		return h[i].seq < h[j].seq
-	}
-	return h[i].at.Before(h[j].at)
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() (popped any) {
-	old := *h
-	n := len(old)
-	popped = old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return
-}
-
 // Sim is a deterministic discrete-event clock. Events scheduled via After/At
-// fire, in timestamp order, when the simulation owner calls Advance, Run or
-// RunUntil. Callbacks run synchronously on the advancing goroutine and may
-// schedule further events.
+// fire, in timestamp order, when the simulation owner calls Advance, Run,
+// RunUntil or a batched variant. Callbacks run on the draining goroutine
+// (or its worker pool in batched mode) and may schedule further events.
 type Sim struct {
-	mu     sync.Mutex
-	now    time.Time
-	seq    uint64
-	events eventHeap
+	mu  sync.Mutex
+	now time.Time
+	seq uint64
+
+	// Calendar queue (wheel.go): near-future events bucket into wheel
+	// slots tracked by the occ bitmap; events past the horizon overflow
+	// into the heap.
+	wheel    [wheelSlots]slot
+	occ      [wheelSlots / 64]uint64
+	wheelLen int
+	overflow eventHeap
+
+	// Engine counters (Stats). Atomics: firing happens outside mu and
+	// Stats may be read while another goroutine drains.
+	scheduled atomic.Int64
+	fired     atomic.Int64
+	coalesced atomic.Int64
+	rounds    atomic.Int64
+	maxBatch  atomic.Int64
 }
 
 // NewSim returns a simulated clock starting at the given instant.
 func NewSim(start time.Time) *Sim {
-	s := &Sim{now: start}
-	heap.Init(&s.events)
-	return s
+	return &Sim{now: start}
 }
 
 // Now implements Clock.
@@ -109,31 +132,35 @@ func (s *Sim) After(d time.Duration, fn func()) {
 		d = 0
 	}
 	s.mu.Lock()
-	s.push(s.now.Add(d), fn)
+	s.push(s.now.Add(d), fn, false)
+	s.mu.Unlock()
+}
+
+// AfterPar implements ParScheduler: fn fires like After, but the batched
+// drain may run it concurrently with other same-instant parallel events.
+// fn must be commutative with them — its effects may not depend on
+// ordering within the instant.
+func (s *Sim) AfterPar(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	s.push(s.now.Add(d), fn, true)
 	s.mu.Unlock()
 }
 
 // At implements Clock.
 func (s *Sim) At(t time.Time, fn func()) {
 	s.mu.Lock()
-	if t.Before(s.now) {
-		t = s.now
-	}
-	s.push(t, fn)
+	s.push(t, fn, false)
 	s.mu.Unlock()
-}
-
-// push appends an event; caller holds mu.
-func (s *Sim) push(at time.Time, fn func()) {
-	s.seq++
-	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
 }
 
 // Pending reports the number of scheduled events not yet fired.
 func (s *Sim) Pending() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.events)
+	return s.wheelLen + len(s.overflow)
 }
 
 // NextAt returns the timestamp of the earliest pending event.
@@ -141,62 +168,147 @@ func (s *Sim) Pending() int {
 func (s *Sim) NextAt() (t time.Time, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.events) == 0 {
+	ev, _ := s.peek()
+	if ev == nil {
 		return time.Time{}, false
 	}
-	return s.events[0].at, true
+	return ev.at, true
 }
+
+// unbounded is the deadline rule for drain-everything modes.
+func unbounded(time.Time) (time.Time, bool) { return time.Time{}, false }
 
 // Advance moves simulated time forward by d, firing every event whose
 // timestamp falls within the window in order. It returns the number of
-// events fired.
+// events fired. The deadline derives from now inside the drain's own
+// critical section, so a concurrent clock user between entry and drain
+// cannot shift it.
 func (s *Sim) Advance(d time.Duration) int {
 	if d < 0 {
 		d = 0
 	}
-	return s.advanceTo(s.Now().Add(d))
+	return s.drain(func(now time.Time) (time.Time, bool) { return now.Add(d), true }, false, 1)
 }
 
 // RunUntil fires events in order until the clock reaches t.
-func (s *Sim) RunUntil(t time.Time) int { return s.advanceTo(t) }
+func (s *Sim) RunUntil(t time.Time) int {
+	return s.drain(func(time.Time) (time.Time, bool) { return t, true }, false, 1)
+}
 
 // Run fires events until none remain, returning the count fired. Callbacks
 // may schedule more events; Run continues until the queue drains.
-func (s *Sim) Run() int {
-	fired := 0
-	for {
-		s.mu.Lock()
-		if len(s.events) == 0 {
-			s.mu.Unlock()
-			return fired
-		}
-		ev := heap.Pop(&s.events).(*event)
-		s.now = ev.at
-		s.mu.Unlock()
-		ev.fn()
-		fired++
-	}
+func (s *Sim) Run() int { return s.drain(unbounded, false, 1) }
+
+// RunBatched drains like Run, but pops every event sharing a timestamp
+// as one group: runs of parallel-marked events (AfterPar) fire through a
+// worker pool of the given width behind a completion barrier, and
+// everything else fires serially in schedule order at its position in
+// the group. With commutative parallel callbacks, RunBatched produces
+// campaigns byte-identical to Run at any worker count; workers ≤ 1
+// degenerates to exact serial order.
+func (s *Sim) RunBatched(workers int) int { return s.drain(unbounded, true, workers) }
+
+// RunUntilBatched is RunBatched bounded by an absolute deadline.
+func (s *Sim) RunUntilBatched(t time.Time, workers int) int {
+	return s.drain(func(time.Time) (time.Time, bool) { return t, true }, true, workers)
 }
 
-// advanceTo fires events with at <= deadline and leaves now == deadline.
-func (s *Sim) advanceTo(deadline time.Time) int {
+// drain is the engine core: pop due events (one at a time, or one
+// same-timestamp group in batched mode), advance now, fire, repeat.
+// deadlineOf computes the drain deadline from now under the initial
+// lock hold — the Advance TOCTOU fix — and reports whether the drain is
+// bounded at all.
+func (s *Sim) drain(deadlineOf func(time.Time) (time.Time, bool), batched bool, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
 	fired := 0
+	var group []*event
+	s.mu.Lock()
+	deadline, bounded := deadlineOf(s.now)
 	for {
-		s.mu.Lock()
-		if len(s.events) == 0 || s.events[0].at.After(deadline) {
-			if deadline.After(s.now) {
-				s.now = deadline
+		if batched {
+			group = s.popGroup(group[:0], deadline, bounded)
+			if len(group) == 0 {
+				break
 			}
+			s.now = group[0].at
 			s.mu.Unlock()
-			return fired
-		}
-		ev := heap.Pop(&s.events).(*event)
-		if ev.at.After(s.now) {
+			s.fireGroup(group, workers)
+			fired += len(group)
+		} else {
+			ev := s.popDue(deadline, bounded)
+			if ev == nil {
+				break
+			}
 			s.now = ev.at
+			s.mu.Unlock()
+			ev.fn()
+			s.fired.Add(1)
+			fired++
 		}
-		s.mu.Unlock()
-		ev.fn()
-		fired++
+		s.mu.Lock()
+	}
+	if bounded && deadline.After(s.now) {
+		s.now = deadline
+	}
+	s.mu.Unlock()
+	return fired
+}
+
+// fireGroup fires one same-timestamp batch. Maximal runs of consecutive
+// parallel-marked events execute on the worker pool behind a completion
+// barrier; serial events act as ordering barriers at their schedule
+// position, so an order-sensitive callback never overlaps anything.
+func (s *Sim) fireGroup(group []*event, workers int) {
+	s.rounds.Add(1)
+	if n := int64(len(group)); n > 1 {
+		s.coalesced.Add(n)
+		workpool.AtomicMax(&s.maxBatch, n)
+	}
+	for i := 0; i < len(group); {
+		if workers <= 1 || !group[i].par {
+			group[i].fn()
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(group) && group[j].par {
+			j++
+		}
+		run := group[i:j]
+		workpool.Run(len(run), workers, func(k int) { run[k].fn() })
+		i = j
+	}
+	s.fired.Add(int64(len(group)))
+}
+
+// Stats are the engine's lifetime counters. Scheduled and Fired cover
+// every drain mode; Coalesced, Rounds and MaxBatch are maintained by the
+// batched drain (a round is one popped group, coalesced counts events
+// that shared their firing instant with at least one other).
+type Stats struct {
+	Scheduled int64 // events pushed via After/AfterPar/At
+	Fired     int64 // callbacks executed
+	Coalesced int64 // events fired in a same-instant group of width > 1
+	Rounds    int64 // batched groups fired
+	MaxBatch  int   // widest same-instant group fired
+	Pending   int   // scheduled but not yet fired, right now
+}
+
+// Stats returns the engine counters. Safe to call concurrently with
+// scheduling and draining.
+func (s *Sim) Stats() Stats {
+	s.mu.Lock()
+	pending := s.wheelLen + len(s.overflow)
+	s.mu.Unlock()
+	return Stats{
+		Scheduled: s.scheduled.Load(),
+		Fired:     s.fired.Load(),
+		Coalesced: s.coalesced.Load(),
+		Rounds:    s.rounds.Load(),
+		MaxBatch:  int(s.maxBatch.Load()),
+		Pending:   pending,
 	}
 }
 

@@ -11,6 +11,17 @@ import (
 	"sync/atomic"
 )
 
+// AtomicMax raises m to n if n is larger — the lock-free high-water-mark
+// idiom the engines' batch-width counters share.
+func AtomicMax(m *atomic.Int64, n int64) {
+	for {
+		cur := m.Load()
+		if n <= cur || m.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // Run invokes fn(i) for every i in [0, n), spreading calls over up to
 // workers goroutines, and returns once all calls complete. workers ≤ 1
 // (or n ≤ 1) executes serially on the caller's goroutine — the barrier

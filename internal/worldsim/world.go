@@ -216,8 +216,26 @@ func (w *World) Stop() {
 // Run advances the clock through the full window plus a drain margin for
 // late snapshots and measurement windows.
 func (w *World) Run() {
-	w.Clock.RunUntil(w.windowEnd.Add(5 * 24 * time.Hour))
+	w.Clock.RunUntil(w.drainDeadline())
 	w.Stop()
+}
+
+// RunBatched advances like Run but drains the clock in batch-firing
+// mode: events sharing a timestamp pop as one group and runs of
+// parallel-marked events (RDAP due-timers, under a dispatch-enabled
+// pipeline) fire through a pool of the given width. Campaign results are
+// byte-identical to Run for any width — the world's own ground-truth
+// events stay serial, and parallel consumers are commutative by
+// contract.
+func (w *World) RunBatched(workers int) {
+	w.Clock.RunUntilBatched(w.drainDeadline(), workers)
+	w.Stop()
+}
+
+// drainDeadline is the window end plus slack for late snapshots and the
+// last measurement windows.
+func (w *World) drainDeadline() time.Time {
+	return w.windowEnd.Add(5 * 24 * time.Hour)
 }
 
 // resolves implements the CA's DV check against live zones.
