@@ -28,6 +28,7 @@ import (
 	"darkdns/internal/psl"
 	"darkdns/internal/rdap"
 	"darkdns/internal/simclock"
+	"darkdns/internal/worldsim"
 )
 
 // benchResults is the shared campaign every per-table benchmark analyzes.
@@ -408,6 +409,44 @@ func BenchmarkSimBatchedRun(b *testing.B) {
 	if s.RunBatched(runtime.GOMAXPROCS(0)) != b.N {
 		b.Fatal("lost events")
 	}
+}
+
+// benchWorldConfig is a paper-shape (full multi-TLD plan mix) world
+// sized so one build lays out ≈10^5 registrations — big enough that the
+// compile phase dominates, small enough for bench smoke runs.
+func benchWorldConfig(seed int64, workers int) worldsim.Config {
+	cfg := worldsim.DefaultConfig(seed, 0.02)
+	cfg.Weeks = 4
+	cfg.BuildWorkers = workers
+	return cfg
+}
+
+// benchWorldBuild measures the two-phase world builder end to end
+// (compile fan-out + serial commit). One op = one world; the
+// domains/s metric is what the acceptance comparison tracks —
+// BenchmarkWorldBuildParallel must lay out ≥2× the domains per second of
+// BenchmarkWorldBuildSerial at 8 workers.
+func benchWorldBuild(b *testing.B, workers int) {
+	b.ReportAllocs()
+	domains := 0
+	for i := 0; i < b.N; i++ {
+		w := worldsim.New(benchWorldConfig(int64(i+1), workers))
+		domains += len(w.Domains)
+		w.Stop()
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(domains)/secs, "domains/s")
+	}
+}
+
+// BenchmarkWorldBuildSerial is the baseline: every per-TLD layout
+// compiled on the calling goroutine.
+func BenchmarkWorldBuildSerial(b *testing.B) { benchWorldBuild(b, 0) }
+
+// BenchmarkWorldBuildParallel compiles per-TLD layouts on a
+// machine-width worker pool; the commit phase stays serial.
+func BenchmarkWorldBuildParallel(b *testing.B) {
+	benchWorldBuild(b, runtime.GOMAXPROCS(0))
 }
 
 // staticProbeBackend answers every fleet probe with a fixed delegation.

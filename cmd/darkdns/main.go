@@ -25,6 +25,7 @@ func main() {
 	ingestWorkers := flag.Int("ingest-workers", 0, "pipeline ingest mode: 0 = per-event, ≥1 = batched with this screening pool width (same results either way)")
 	rdapWorkers := flag.Int("rdap-workers", 0, "RDAP dispatch mode: 0 = serial lookups, ≥1 = async per-TLD queues drained by this worker pool width (same results either way)")
 	clockWorkers := flag.Int("clock-workers", 0, "event engine drain mode: 0 = serial event loop, ≥1 = batch-fire same-timestamp events through this worker pool width (same results either way)")
+	buildWorkers := flag.Int("build-workers", 0, "world builder compile mode: 0 = serial layout, ≥1 = compile per-TLD layouts on this worker pool width (same world either way)")
 	verbose := flag.Bool("v", false, "print every confirmed transient domain")
 	export := flag.String("export", "", "write candidates to this file in columnar format")
 	flag.Parse()
@@ -33,6 +34,7 @@ func main() {
 	res := analysis.Run(analysis.RunConfig{
 		Seed: *seed, Scale: *scale, Weeks: *weeks, WatchSampleRate: 1.0,
 		IngestWorkers: *ingestWorkers, RDAPWorkers: *rdapWorkers, ClockWorkers: *clockWorkers,
+		BuildWorkers: *buildWorkers,
 	})
 	fmt.Printf("simulated %d weeks at scale %g in %v\n", *weeks, *scale, time.Since(start).Round(time.Millisecond))
 

@@ -99,6 +99,44 @@ func TestSerialParallelRDAPDispatchIdentical(t *testing.T) {
 	}
 }
 
+// TestSerialParallelBuildCampaignsIdentical: the same byte-identity must
+// hold for the world builder's compile fan-out — per-TLD layouts
+// compiled serially (BuildWorkers=0), on a single-width pool
+// (BuildWorkers=1), and on a wide pool (BuildWorkers=8), alone and
+// stacked with the ingest, dispatch and clock engines. Each plan draws
+// from its own seed-derived RNG stream and the commit phase installs
+// layouts in canonical plan order, so compile width is unobservable.
+func TestSerialParallelBuildCampaignsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full campaigns")
+	}
+	base := RunConfig{Seed: 47, Scale: 0.0008, Weeks: 2, WatchSampleRate: 1.0, ProbeMail: true}
+	render := func(cfg RunConfig) []byte {
+		r := Run(cfg)
+		var buf bytes.Buffer
+		if err := WriteReport(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(base)
+	for _, cfg := range []RunConfig{
+		{BuildWorkers: 1},
+		{BuildWorkers: 8},
+		{BuildWorkers: 8, ClockWorkers: 8, RDAPWorkers: 8, IngestWorkers: 8},
+	} {
+		run := base
+		run.BuildWorkers = cfg.BuildWorkers
+		run.ClockWorkers = cfg.ClockWorkers
+		run.RDAPWorkers = cfg.RDAPWorkers
+		run.IngestWorkers = cfg.IngestWorkers
+		if got := render(run); !bytes.Equal(serial, got) {
+			t.Errorf("build-workers=%d clock-workers=%d rdap-workers=%d ingest-workers=%d report diverges from serial",
+				cfg.BuildWorkers, cfg.ClockWorkers, cfg.RDAPWorkers, cfg.IngestWorkers)
+		}
+	}
+}
+
 // TestSerialBatchedClockCampaignsIdentical: the same byte-identity must
 // hold for the event engine's drain mode — the serial heap-order drain
 // (ClockWorkers=0), batch-firing with a single-width pool

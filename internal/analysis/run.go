@@ -55,6 +55,13 @@ type RunConfig struct {
 	// completion barrier. Campaign reports are byte-identical across 0,
 	// 1 and N workers (the engine's determinism contract).
 	ClockWorkers int
+	// BuildWorkers selects the world builder's compile fan-out: 0 lays
+	// per-TLD layouts out serially on the caller, ≥1 compiles them on a
+	// worker pool this wide before the serial commit installs them in
+	// canonical plan order. Worlds — and therefore campaign reports —
+	// are byte-identical across widths (each plan draws from its own
+	// seed-derived RNG stream).
+	BuildWorkers int
 }
 
 // DefaultRunConfig is sized for test and example runs: ≈1/500 of paper
@@ -71,6 +78,7 @@ func Run(cfg RunConfig) *Results {
 	if cfg.Weeks > 0 {
 		wcfg.Weeks = cfg.Weeks
 	}
+	wcfg.BuildWorkers = cfg.BuildWorkers
 	w := worldsim.New(wcfg)
 	start, end := w.Window()
 

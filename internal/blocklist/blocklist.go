@@ -85,20 +85,35 @@ func (a *Aggregator) Lists() []string {
 	return out
 }
 
-// ConsiderAbusive rolls each list's detection model for an abusive domain
-// whose abuse began at abuseStart, recording flag events. It returns the
-// number of lists that flagged the domain.
-func (a *Aggregator) ConsiderAbusive(rng *rand.Rand, domain string, abuseStart time.Time) int {
-	n := 0
-	for _, l := range a.lists {
+// Models returns a copy of the configured list models.
+func (a *Aggregator) Models() []List { return append([]List(nil), a.lists...) }
+
+// SampleAbusive rolls each list's detection model for an abusive domain
+// whose abuse began at abuseStart, returning the flag events that would
+// be recorded. Pure given rng — the world builder's compile phase draws
+// flags through it without touching an aggregator; SeedFlag is the
+// commit half.
+func SampleAbusive(lists []List, rng *rand.Rand, domain string, abuseStart time.Time) []Flag {
+	var flags []Flag
+	for _, l := range lists {
 		if rng.Float64() >= l.HitRate {
 			continue
 		}
 		delay := l.LatencyFloor + time.Duration(rng.ExpFloat64()*float64(l.LatencyMean))
-		a.SeedFlag(l.Name, domain, abuseStart.Add(delay))
-		n++
+		flags = append(flags, Flag{Domain: domain, List: l.Name, At: abuseStart.Add(delay)})
 	}
-	return n
+	return flags
+}
+
+// ConsiderAbusive rolls each list's detection model for an abusive domain
+// whose abuse began at abuseStart, recording flag events. It returns the
+// number of lists that flagged the domain.
+func (a *Aggregator) ConsiderAbusive(rng *rand.Rand, domain string, abuseStart time.Time) int {
+	flags := SampleAbusive(a.lists, rng, domain, abuseStart)
+	for _, f := range flags {
+		a.SeedFlag(f.List, f.Domain, f.At)
+	}
+	return len(flags)
 }
 
 // SeedFlag records a listing event directly (used for pre-window history:

@@ -2,6 +2,7 @@ package blocklist
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -161,4 +162,52 @@ func domainN(i int) string {
 		i /= 26
 	}
 	return string(b)
+}
+
+// TestSampleAbusiveMatchesConsider: SampleAbusive + SeedFlag (the world
+// builder's compile/commit split) must be equivalent to ConsiderAbusive
+// for the same RNG stream.
+func TestSampleAbusiveMatchesConsider(t *testing.T) {
+	start := time.Date(2023, 11, 5, 0, 0, 0, 0, time.UTC)
+
+	direct := NewAggregator(nil)
+	rng := rand.New(rand.NewSource(9))
+	wantN := 0
+	for i := 0; i < 5000; i++ {
+		wantN += direct.ConsiderAbusive(rng, domainN(i), start)
+	}
+
+	split := NewAggregator(nil)
+	rng = rand.New(rand.NewSource(9))
+	gotN := 0
+	for i := 0; i < 5000; i++ {
+		flags := SampleAbusive(split.Models(), rng, domainN(i), start)
+		for _, f := range flags {
+			split.SeedFlag(f.List, f.Domain, f.At)
+		}
+		gotN += len(flags)
+	}
+	if gotN != wantN || gotN == 0 {
+		t.Fatalf("flag counts diverge: %d vs %d", gotN, wantN)
+	}
+	for i := 0; i < 5000; i++ {
+		if !reflect.DeepEqual(split.Flags(domainN(i)), direct.Flags(domainN(i))) {
+			t.Fatalf("flags for %s diverge", domainN(i))
+		}
+	}
+}
+
+// TestModelsIsACopy: mutating the returned slice must not affect the
+// aggregator's behaviour.
+func TestModelsIsACopy(t *testing.T) {
+	a := NewAggregator(nil)
+	m := a.Models()
+	if len(m) != len(DefaultLists()) {
+		t.Fatalf("Models returned %d lists", len(m))
+	}
+	m[0].HitRate = 1.0
+	m[0].Name = "clobbered"
+	if a.Models()[0].Name == "clobbered" {
+		t.Fatal("Models exposed internal state")
+	}
 }

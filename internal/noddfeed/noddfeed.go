@@ -40,6 +40,23 @@ func DefaultConfig() Config {
 	return Config{DetectRate: 0.47, TransientDetectRate: 0.40, DelayMean: 90 * time.Minute}
 }
 
+// Sample rolls the detection model for a registration at created that
+// will live for lifetime (0 = long-lived), without recording anything:
+// it returns the instant the feed would first see the domain. Pure given
+// rng — the world builder's compile phase draws detections through it
+// before any shared feed state is touched; Feed.Seed is the commit half.
+func (cfg Config) Sample(rng *rand.Rand, created time.Time, lifetime time.Duration, rate float64) (time.Time, bool) {
+	if rng.Float64() >= rate {
+		return time.Time{}, false
+	}
+	delay := time.Duration(rng.ExpFloat64() * float64(cfg.DelayMean))
+	if lifetime > 0 && delay >= lifetime {
+		// The domain died before its traffic reached a sensor.
+		return time.Time{}, false
+	}
+	return created.Add(delay), true
+}
+
 // Feed is a passive-DNS NOD feed simulator.
 type Feed struct {
 	cfg Config
@@ -51,6 +68,20 @@ type Feed struct {
 // New creates a feed.
 func New(cfg Config) *Feed {
 	return &Feed{cfg: cfg, detected: make(map[string]time.Time)}
+}
+
+// Config returns the feed's coverage model.
+func (f *Feed) Config() Config { return f.cfg }
+
+// Seed records a detection directly, keeping the earliest sighting when a
+// domain is observed more than once — the commit half of Config.Sample.
+func (f *Feed) Seed(domain string, at time.Time) {
+	domain = dnsname.Canonical(domain)
+	f.mu.Lock()
+	if prev, ok := f.detected[domain]; !ok || at.Before(prev) {
+		f.detected[domain] = at
+	}
+	f.mu.Unlock()
 }
 
 // ObserveRegistration rolls the detection model for a registration at
@@ -71,21 +102,11 @@ func (f *Feed) ObserveRegistration(rng *rand.Rand, domain string, created time.T
 // are more likely to attract query traffic, which is what produces the
 // ≈60 % (rather than independent ≈27 %) feed overlap of §4.4.
 func (f *Feed) ObserveWithRate(rng *rand.Rand, domain string, created time.Time, lifetime time.Duration, rate float64) (time.Time, bool) {
-	domain = dnsname.Canonical(domain)
-	if rng.Float64() >= rate {
+	at, ok := f.cfg.Sample(rng, created, lifetime, rate)
+	if !ok {
 		return time.Time{}, false
 	}
-	delay := time.Duration(rng.ExpFloat64() * float64(f.cfg.DelayMean))
-	if lifetime > 0 && delay >= lifetime {
-		// The domain died before its traffic reached a sensor.
-		return time.Time{}, false
-	}
-	at := created.Add(delay)
-	f.mu.Lock()
-	if prev, ok := f.detected[domain]; !ok || at.Before(prev) {
-		f.detected[domain] = at
-	}
-	f.mu.Unlock()
+	f.Seed(domain, at)
 	return at, true
 }
 

@@ -2,6 +2,7 @@ package noddfeed
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -103,4 +104,53 @@ func dom(i int) string {
 		i /= 26
 	}
 	return string(b)
+}
+
+// TestSampleSeedMatchesObserve: Config.Sample + Feed.Seed (the world
+// builder's compile/commit split) must be equivalent to ObserveWithRate
+// for the same RNG stream.
+func TestSampleSeedMatchesObserve(t *testing.T) {
+	cfg := DefaultConfig()
+	created := time.Date(2023, 11, 3, 0, 0, 0, 0, time.UTC)
+
+	direct := New(cfg)
+	rng := rand.New(rand.NewSource(5))
+	var want []string
+	for i := 0; i < 2000; i++ {
+		name := dom(i)
+		if at, ok := direct.ObserveWithRate(rng, name, created, time.Duration(i)*time.Minute, 0.4); ok {
+			want = append(want, name+"|"+at.Format(time.RFC3339Nano))
+		}
+	}
+
+	split := New(cfg)
+	rng = rand.New(rand.NewSource(5))
+	var got []string
+	for i := 0; i < 2000; i++ {
+		name := dom(i)
+		if at, ok := cfg.Sample(rng, created, time.Duration(i)*time.Minute, 0.4); ok {
+			split.Seed(name, at)
+			got = append(got, name+"|"+at.Format(time.RFC3339Nano))
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("Sample+Seed diverges from ObserveWithRate")
+	}
+	if split.Len() != direct.Len() {
+		t.Fatalf("feed sizes diverge: %d vs %d", split.Len(), direct.Len())
+	}
+}
+
+// TestSeedKeepsEarliest: seeding the same domain twice keeps the
+// earlier sighting, like ObserveWithRate does.
+func TestSeedKeepsEarliest(t *testing.T) {
+	f := New(DefaultConfig())
+	t1 := time.Date(2023, 11, 3, 12, 0, 0, 0, time.UTC)
+	f.Seed("dup.shop", t1)
+	f.Seed("dup.shop", t1.Add(time.Hour))
+	f.Seed("DUP.shop", t1.Add(-time.Hour)) // canonicalized, earlier
+	at, ok := f.DetectedAt("dup.shop")
+	if !ok || !at.Equal(t1.Add(-time.Hour)) {
+		t.Fatalf("DetectedAt = %v, %v; want earliest seed", at, ok)
+	}
 }

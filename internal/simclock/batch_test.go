@@ -270,3 +270,113 @@ func TestBatchedRaceHammer(t *testing.T) {
 		}
 	}
 }
+
+// TestScheduleBatchMatchesElementWise: a bulk insert must be
+// indistinguishable from element-by-element At/AfterPar calls — same
+// sequence numbering, same delivery order, under both drain modes.
+func TestScheduleBatchMatchesElementWise(t *testing.T) {
+	build := func(s *Sim, record func(tag string)) {
+		var entries []Timed
+		for i := 0; i < 120; i++ {
+			i := i
+			entries = append(entries, Timed{
+				At:  epoch.Add(time.Duration(i%12) * time.Minute),
+				Fn:  func() { record(fmt.Sprintf("bulk-%d", i)) },
+				Par: i%3 == 0,
+			})
+		}
+		// Interleave with a far-future bulk slab that lands on the
+		// overflow heap — large enough to take the heapify-once path.
+		for i := 0; i < 100; i++ {
+			i := i
+			entries = append(entries, Timed{
+				At: epoch.Add(wheelSpan + time.Duration(i)*time.Hour),
+				Fn: func() { record(fmt.Sprintf("far-%d", i)) },
+			})
+		}
+		s.ScheduleBatch(entries)
+	}
+	run := func(bulk bool) []string {
+		s := NewSim(epoch)
+		var log []string
+		record := func(tag string) { log = append(log, s.Now().Format(time.RFC3339)+"|"+tag) }
+		if bulk {
+			build(s, record)
+		} else {
+			// Element-wise reference: identical entries via At/AfterPar.
+			for i := 0; i < 120; i++ {
+				i := i
+				at := epoch.Add(time.Duration(i%12) * time.Minute)
+				fn := func() { log = append(log, s.Now().Format(time.RFC3339)+"|"+fmt.Sprintf("bulk-%d", i)) }
+				if i%3 == 0 {
+					s.mu.Lock()
+					s.push(at, fn, true)
+					s.mu.Unlock()
+				} else {
+					s.At(at, fn)
+				}
+			}
+			for i := 0; i < 100; i++ {
+				i := i
+				s.At(epoch.Add(wheelSpan+time.Duration(i)*time.Hour),
+					func() { log = append(log, s.Now().Format(time.RFC3339)+"|"+fmt.Sprintf("far-%d", i)) })
+			}
+		}
+		s.Run()
+		return log
+	}
+	if got, want := run(true), run(false); !reflect.DeepEqual(got, want) {
+		t.Fatal("ScheduleBatch delivery order diverges from element-wise scheduling")
+	}
+}
+
+// TestScheduleBatchPastClampsAndCounts: entries at or before now clamp
+// to now (firing on the next dispatch), and the scheduled counter sees
+// every entry.
+func TestScheduleBatchPastClampsAndCounts(t *testing.T) {
+	s := NewSim(epoch)
+	fired := 0
+	s.ScheduleBatch([]Timed{
+		{At: epoch.Add(-time.Hour), Fn: func() { fired++ }},
+		{At: epoch, Fn: func() { fired++ }},
+		{At: epoch.Add(time.Minute), Fn: func() { fired++ }, Par: true},
+	})
+	if got := s.Stats().Scheduled; got != 3 {
+		t.Fatalf("Scheduled = %d, want 3", got)
+	}
+	if s.Run() != 3 || fired != 3 {
+		t.Fatalf("fired %d of 3", fired)
+	}
+	// Empty batches are no-ops.
+	s.ScheduleBatch(nil)
+	s.AtBatch(epoch, nil)
+	if s.Pending() != 0 {
+		t.Fatal("empty batch scheduled something")
+	}
+}
+
+// TestAtBatchSharedInstant: AtBatch schedules every callback at one
+// instant in slice order.
+func TestAtBatchSharedInstant(t *testing.T) {
+	s := NewSim(epoch)
+	var order []int
+	fns := make([]func(), 10)
+	for i := range fns {
+		i := i
+		fns[i] = func() { order = append(order, i) }
+	}
+	at := epoch.Add(30 * time.Second)
+	s.AtBatch(at, fns)
+	if s.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", s.Pending())
+	}
+	s.Run()
+	if !s.Now().Equal(at) {
+		t.Fatalf("clock at %v, want %v", s.Now(), at)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order[%d] = %d; AtBatch must preserve slice order", i, got)
+		}
+	}
+}

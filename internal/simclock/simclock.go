@@ -25,6 +25,7 @@
 package simclock
 
 import (
+	"container/heap"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -153,6 +154,73 @@ func (s *Sim) AfterPar(d time.Duration, fn func()) {
 func (s *Sim) At(t time.Time, fn func()) {
 	s.mu.Lock()
 	s.push(t, fn, false)
+	s.mu.Unlock()
+}
+
+// Timed is one entry of a bulk schedule: an absolute instant, a callback,
+// and the parallel-commutativity mark carrying AfterPar's contract.
+type Timed struct {
+	At  time.Time
+	Fn  func()
+	Par bool
+}
+
+// ScheduleBatch schedules every entry under a single lock acquisition,
+// assigning sequence numbers in slice order — equivalent to calling At
+// (or AfterPar, for Par entries) element by element, minus the per-event
+// locking. Bulk producers like the world builder's commit phase install
+// whole compiled timelines through it. When a batch carries a large
+// far-future slab (a compiled campaign lands almost entirely beyond the
+// wheel horizon), the slab is appended to the overflow queue raw and
+// heapified once — an O(heap) rebuild instead of O(batch·log heap)
+// sifts. Firing order is identical either way: it depends only on each
+// event's (at, seq), never on heap internals.
+func (s *Sim) ScheduleBatch(entries []Timed) {
+	if len(entries) == 0 {
+		return
+	}
+	s.mu.Lock()
+	far := 0
+	for i := range entries {
+		at := entries[i].At
+		if at.Before(s.now) {
+			at = s.now
+		}
+		if at.Sub(s.now) >= wheelSpan {
+			far++
+		}
+	}
+	bulk := far >= 64 && far*4 >= len(s.overflow)
+	for i := range entries {
+		e := &entries[i]
+		at := e.At
+		if at.Before(s.now) {
+			at = s.now
+		}
+		if bulk && at.Sub(s.now) >= wheelSpan {
+			s.seq++
+			s.overflow = append(s.overflow, &event{at: at, seq: s.seq, fn: e.Fn, par: e.Par})
+			s.scheduled.Add(1)
+			continue
+		}
+		s.push(at, e.Fn, e.Par)
+	}
+	if bulk {
+		heap.Init(&s.overflow)
+	}
+	s.mu.Unlock()
+}
+
+// AtBatch schedules every callback at one shared instant under a single
+// lock acquisition, in slice order.
+func (s *Sim) AtBatch(at time.Time, fns []func()) {
+	if len(fns) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for _, fn := range fns {
+		s.push(at, fn, false)
+	}
 	s.mu.Unlock()
 }
 

@@ -1,0 +1,160 @@
+// Commit phase of the two-phase world builder (compile lives in
+// layout.go): install compiled layouts into the live world, serially and
+// in canonical plan order, so the resulting world is byte-identical at
+// any compile width.
+package worldsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"darkdns/internal/ca"
+	"darkdns/internal/ct"
+	"darkdns/internal/simclock"
+	"darkdns/internal/workpool"
+)
+
+// compileUnit is one entry of the compile work list: a chunk of a gTLD
+// plan (plan ≥ 0) or of the ccTLD plan (plan == -1).
+type compileUnit struct {
+	plan          int
+	chunk, chunks int
+}
+
+// compileLayouts compiles every gTLD plan plus the ccTLD plan into
+// layouts, fanning the pure chunk compilers out on a worker pool of
+// width cfg.BuildWorkers (≤1 = serial on the caller's goroutine). The
+// unit list and each layout are pure functions of (cfg, plan, chunk) —
+// every chunk's RNG stream derives from subseed(Seed, "plan/<tld>/<i>")
+// — so the result is identical at any width. The canonical world order
+// is the unit-list order: plans in Config.Plans order, chunks ascending,
+// ccTLD last.
+func compileLayouts(env *buildEnv) []*Layout {
+	cfg := env.cfg
+	units := make([]compileUnit, 0, len(cfg.Plans)+1)
+	for i, p := range cfg.Plans {
+		k := planChunks(cfg, p)
+		for c := 0; c < k; c++ {
+			units = append(units, compileUnit{i, c, k})
+		}
+	}
+	ck := ccChunks(cfg, *cfg.CCTLD)
+	for c := 0; c < ck; c++ {
+		units = append(units, compileUnit{-1, c, ck})
+	}
+	layouts := make([]*Layout, len(units))
+	workpool.Run(len(units), cfg.BuildWorkers, func(i int) {
+		u := units[i]
+		if u.plan >= 0 {
+			plan := cfg.Plans[u.plan]
+			rng := rand.New(rand.NewSource(subseed(cfg.Seed, fmt.Sprintf("plan/%s/%d", plan.TLD, u.chunk))))
+			layouts[i] = compilePlanChunk(env, plan, u.chunk, u.chunks, rng)
+		} else {
+			rng := rand.New(rand.NewSource(subseed(cfg.Seed, fmt.Sprintf("ccplan/%s/%d", cfg.CCTLD.TLD, u.chunk))))
+			layouts[i] = compileCCTLDChunk(env, *cfg.CCTLD, u.chunk, u.chunks, rng)
+		}
+	})
+	return layouts
+}
+
+// commit installs compiled layouts in canonical plan order: ground-truth
+// records into Domains, buffered seedings into the NOD feed, blocklists
+// and DZDB, DV tokens into the CAs, and each layout's timeline onto the
+// clock through one ScheduleBatch call (one lock acquisition per layout
+// instead of one per event). Serial by design: determinism comes from
+// the fixed order, speed from the batch APIs.
+func (w *World) commit(layouts []*Layout) {
+	total, ghosts := 0, 0
+	for _, l := range layouts {
+		total += len(l.domains)
+		ghosts += len(l.ghosts)
+	}
+	w.Domains = make(map[string]*Domain, total)
+	// Name collisions between layouts are impossible while plans own
+	// distinct TLDs (chunk discriminators partition within a plan); the
+	// dupNames counter is the safety net for configs that violate that
+	// rule. Ghost names live in their own set — they are deliberately
+	// absent from Domains.
+	ghostSeen := make(map[string]struct{}, ghosts)
+	var timeline []simclock.Timed
+	for _, l := range layouts {
+		timeline = timeline[:0]
+		for _, r := range l.domains {
+			_, dupD := w.Domains[r.d.Name]
+			_, dupG := ghostSeen[r.d.Name]
+			if dupD || dupG {
+				w.dupNames++
+			}
+			w.Domains[r.d.Name] = r.d
+			timeline = append(timeline, simclock.Timed{At: r.d.Created, Fn: w.registrationFn(r)})
+		}
+		for _, g := range l.ghosts {
+			_, dupD := w.Domains[g.d.Name]
+			_, dupG := ghostSeen[g.d.Name]
+			if dupD || dupG {
+				w.dupNames++
+			}
+			ghostSeen[g.d.Name] = struct{}{}
+			w.Ghosts = append(w.Ghosts, g.d)
+			issuer := w.CAs[g.caIdx]
+			issuer.SeedToken(g.d.Name, g.tokenAt)
+			if g.inDZDB {
+				w.DZDB.Observe(g.d.Name, g.tokenAt)
+			}
+			name := g.d.Name
+			timeline = append(timeline, simclock.Timed{At: g.d.Created, Fn: func() {
+				issuer.Issue(name, name, nil, nil) // token reuse: no live validation
+			}})
+		}
+		for _, s := range l.nod {
+			w.NOD.Seed(s.domain, s.at)
+		}
+		for _, f := range l.flags {
+			w.Blocklists.SeedFlag(f.List, f.Domain, f.At)
+		}
+		for _, s := range l.dzdb {
+			w.DZDB.Observe(s.domain, s.at)
+		}
+		w.Clock.ScheduleBatch(timeline)
+	}
+}
+
+// registrationFn wires one compiled registration's lifecycle into a
+// clock callback: register at creation, then kick off the (pre-drawn)
+// certificate chain, NS change and deletion.
+func (w *World) registrationFn(r *regLayout) func() {
+	d := r.d
+	reg := w.Registries[d.TLD]
+	return func() {
+		if _, err := reg.Register(d.Name, d.Registrar, r.ns, r.web); err != nil {
+			return // name collision with an active registration (duplicate-TLD plans only)
+		}
+		if d.CertAsked {
+			w.requestCert(w.CAs[r.caIdx], d.Name, r.certDelay, r.retrySeed, 0)
+		}
+		if r.nsChange && (d.Lifetime == 0 || r.nsChangeAt < d.Lifetime) {
+			w.Clock.After(r.nsChangeAt, func() { _ = reg.UpdateNS(d.Name, r.altNS) })
+		}
+		if d.Lifetime > 0 {
+			w.Clock.After(d.Lifetime, func() { _ = reg.Delete(d.Name) })
+		}
+	}
+}
+
+// requestCert retries issuance while the domain has not yet entered its
+// TLD zone — modelling ACME clients retrying validation until the
+// registry's next zone rebuild publishes the delegation. This retry chain
+// is what couples Figure 1's detection delay to zone-update cadence. The
+// backoffs derive from the registration's compiled retry seed, so the
+// chain stays a pure function of the world seed.
+func (w *World) requestCert(issuer *ca.CA, name string, delay time.Duration, retrySeed uint64, attempt int) {
+	w.Clock.After(delay, func() {
+		issuer.Issue(name, name, nil, func(_ ct.Entry, err error) {
+			if err == nil || attempt >= maxCertAttempts {
+				return
+			}
+			w.requestCert(issuer, name, retryDelay(retrySeed, attempt), retrySeed, attempt+1)
+		})
+	})
+}

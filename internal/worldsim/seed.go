@@ -1,0 +1,41 @@
+package worldsim
+
+import "time"
+
+// subseed derives a child RNG seed from the world seed and a label. Every
+// independent stochastic stream in a world — one per TLD plan, registry
+// and CA — draws from its own subseed-derived rand.Rand, which is what
+// lets the compile phase lay plans out in parallel without sharing RNG
+// state. (It replaces the former ad-hoc derivations:
+// Seed^len(tld)^hashString(tld) for registries, Seed+i*7919 for CAs.)
+// The label is folded in FNV-1a style and the result finished with the
+// splitmix64 avalanche, so labels differing in a single byte yield
+// uncorrelated streams.
+func subseed(seed int64, label string) int64 {
+	h := uint64(seed) ^ 0x9e3779b97f4a7c15
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return int64(mix64(h))
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// retryDelay derives the attempt-th ACME retry backoff from a
+// registration's pre-drawn retry seed: uniform over 1–4 minutes, the same
+// distribution the serial builder drew with rng.Intn(4), but requiring
+// only one word of compiled state per certificate request instead of a
+// buffered draw per attempt.
+func retryDelay(seed uint64, attempt int) time.Duration {
+	h := mix64(seed + uint64(attempt)*0x9e3779b97f4a7c15)
+	return time.Duration(1+h%4) * time.Minute
+}

@@ -4,10 +4,16 @@
 // precertificates to CT, a passive-DNS NOD feed, public blocklists, and
 // historical zone data. All stochastic choices derive from a single seed,
 // so a run is reproducible bit-for-bit.
+//
+// Worlds are built in two phases. The compile phase lays every plan out
+// as a pure Layout value — each TLD's registrations, ghosts and feed
+// seedings drawn from its own subseed-derived RNG stream (layout.go) —
+// and fans out across plans on a worker pool when Config.BuildWorkers is
+// set. The commit phase installs layouts serially in canonical plan
+// order (builder.go). Worlds are byte-identical at any compile width.
 package worldsim
 
 import (
-	"fmt"
 	"math/rand"
 	"time"
 
@@ -18,7 +24,6 @@ import (
 	"darkdns/internal/czds"
 	"darkdns/internal/dnsname"
 	"darkdns/internal/dzdb"
-	"darkdns/internal/hosting"
 	"darkdns/internal/noddfeed"
 	"darkdns/internal/rdap"
 	"darkdns/internal/registrar"
@@ -32,8 +37,13 @@ type Config struct {
 	Start time.Time  // window start (paper: 2023-11-01)
 	Weeks int        // window length in weeks (paper: ~13)
 	Scale float64    // fraction of paper volumes to generate
-	Plans []TLDPlan  // nil → PaperPlans()
+	Plans []TLDPlan  // nil → PaperPlans(); plans must have distinct TLDs
 	CCTLD *CCTLDPlan // nil → PaperCCTLD()
+	// BuildWorkers selects the builder's compile fan-out: 0 compiles
+	// per-TLD layouts serially on the caller, ≥1 compiles them on a
+	// worker pool this wide. Every width builds a byte-identical world —
+	// each plan draws from its own seed-derived RNG stream.
+	BuildWorkers int
 	// FastDeletedMultiplier converts Table 2 detected-transient targets
 	// into ground-truth fast-deleted registrations. Detected transients
 	// are the subset that obtain a certificate before dying AND miss
@@ -102,7 +112,6 @@ type Domain struct {
 type World struct {
 	Cfg   Config
 	Clock *simclock.Sim
-	rng   *rand.Rand
 
 	Registries map[string]*registry.Registry
 	CZDS       *czds.Service
@@ -128,6 +137,10 @@ type World struct {
 	Ghosts []*Domain
 
 	windowEnd time.Time
+	// dupNames counts commit-phase name collisions between layouts. Zero
+	// for any config with distinct plan TLDs (the determinism tests'
+	// world-wide uniqueness invariant).
+	dupNames int
 }
 
 // Window returns the observation window [start, end).
@@ -157,14 +170,12 @@ func New(cfg Config) *World {
 	w := &World{
 		Cfg:        cfg,
 		Clock:      simclock.NewSim(cfg.Start),
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		Registries: make(map[string]*registry.Registry),
 		CZDS:       czds.New(),
 		DZDB:       dzdb.New(),
 		Hub:        certstream.NewHub(),
 		Blocklists: blocklist.NewAggregator(nil),
 		RDAP:       rdap.NewMux(),
-		Domains:    make(map[string]*Domain),
 	}
 	w.windowEnd = cfg.Start.Add(time.Duration(cfg.Weeks) * 7 * 24 * time.Hour)
 	w.NOD = noddfeed.New(noddfeed.DefaultConfig())
@@ -185,7 +196,7 @@ func New(cfg Config) *World {
 	for _, tld := range tlds {
 		rcfg := registry.DefaultConfig(tld)
 		rcfg.SnapshotDelay = snapshotDelay
-		reg := registry.New(rcfg, w.Clock, rand.New(rand.NewSource(cfg.Seed^int64(len(tld))^hashString(tld))))
+		reg := registry.New(rcfg, w.Clock, rand.New(rand.NewSource(subseed(cfg.Seed, "registry/"+tld))))
 		w.Registries[tld] = reg
 		w.CZDS.Collect(reg)
 		if !reg.InCZDS() {
@@ -199,10 +210,18 @@ func New(cfg Config) *World {
 	resolver := ca.ResolverFunc(w.resolves)
 	for i, name := range caNames {
 		w.CAs = append(w.CAs, ca.New(ca.Config{Name: name}, w.Clock,
-			rand.New(rand.NewSource(cfg.Seed+int64(i)*7919)), resolver, w.Logs[i%len(w.Logs)]))
+			rand.New(rand.NewSource(subseed(cfg.Seed, "ca/"+name))), resolver, w.Logs[i%len(w.Logs)]))
 	}
 
-	w.scheduleAll()
+	// Two-phase build: compile pure per-plan layouts (in parallel when
+	// BuildWorkers is set), then commit them in canonical plan order.
+	env := &buildEnv{
+		cfg:    &w.Cfg,
+		numCAs: len(w.CAs),
+		lists:  w.Blocklists.Models(),
+		nodCfg: w.NOD.Config(),
+	}
+	w.commit(compileLayouts(env))
 	return w
 }
 
@@ -273,286 +292,4 @@ func snapshotDelay(rng *rand.Rand) time.Duration {
 		return time.Duration(24+rng.Intn(48)) * time.Hour
 	}
 	return time.Duration(1+rng.Intn(4)) * time.Hour
-}
-
-// scheduleAll lays out every registration, deletion, certificate request,
-// ghost issuance and feed observation on the clock.
-func (w *World) scheduleAll() {
-	weeks := w.Cfg.Weeks
-	monthOf := func(t time.Time) int {
-		d := int(t.Sub(w.Cfg.Start) / (24 * time.Hour))
-		m := d / 30
-		if m > 2 {
-			m = 2
-		}
-		return m
-	}
-	_ = monthOf
-	for _, plan := range w.Cfg.Plans {
-		w.scheduleTLD(plan, weeks)
-	}
-	w.scheduleCCTLD(*w.Cfg.CCTLD, weeks)
-}
-
-// monthlyWeights converts a plan's monthly CT counts into per-month
-// weights over the simulated window (the window is weeks long; month i
-// covers days [30i, 30(i+1))).
-func monthlyWeights(m [3]int) [3]float64 {
-	tot := float64(m[0] + m[1] + m[2])
-	if tot == 0 {
-		return [3]float64{1. / 3, 1. / 3, 1. / 3}
-	}
-	return [3]float64{float64(m[0]) / tot, float64(m[1]) / tot, float64(m[2]) / tot}
-}
-
-// sampleCreation picks a creation instant, weighting months per the plan.
-func (w *World) sampleCreation(weights [3]float64) time.Time {
-	x := w.rng.Float64()
-	month := 0
-	switch {
-	case x < weights[0]:
-		month = 0
-	case x < weights[0]+weights[1]:
-		month = 1
-	default:
-		month = 2
-	}
-	windowDays := w.Cfg.Weeks * 7
-	lo := month * 30
-	hi := (month + 1) * 30
-	if hi > windowDays {
-		hi = windowDays
-	}
-	if lo >= hi {
-		lo, hi = 0, windowDays
-	}
-	day := lo + w.rng.Intn(hi-lo)
-	return w.Cfg.Start.Add(time.Duration(day)*24*time.Hour +
-		time.Duration(w.rng.Int63n(int64(24*time.Hour))))
-}
-
-func (w *World) scheduleTLD(plan TLDPlan, weeks int) {
-	scale := w.Cfg.Scale * float64(weeks*7) / 91.0
-	weights := monthlyWeights(plan.MonthlyCT)
-
-	// Long-lived + early-removed registrations. Ground truth total is
-	// the zone-NRD volume; CT coverage decides who requests certs.
-	nNormal := int(float64(plan.ZoneNRDs) * scale)
-	for i := 0; i < nNormal; i++ {
-		d := &Domain{
-			Name:    w.domainName(plan.TLD),
-			TLD:     plan.TLD,
-			Created: w.sampleCreation(weights),
-		}
-		d.CertAsked = w.rng.Float64() < plan.CertCoverage
-		if w.rng.Float64() < w.Cfg.EarlyRemovedRate {
-			d.Lifetime = registrar.SampleEarlyRemovedLifetime(w.rng)
-			d.Reason = registrar.SampleRemovalReason(w.rng)
-			d.Malicious = d.Reason.Malicious()
-		}
-		d.Registrar = registrar.Pick(w.rng)
-		w.scheduleDomain(d, false)
-	}
-
-	// Fast-deleted (transient-candidate) registrations.
-	nFast := int(float64(plan.TransientTotal()) * scale * w.Cfg.FastDeletedMultiplier)
-	for i := 0; i < nFast; i++ {
-		d := &Domain{
-			Name:       w.domainName(plan.TLD),
-			TLD:        plan.TLD,
-			Created:    w.sampleCreation(monthlyWeights(plan.Transients)),
-			Lifetime:   registrar.SampleTransientLifetime(w.rng),
-			FastDelete: true,
-		}
-		d.Reason = registrar.SampleRemovalReason(w.rng)
-		d.Malicious = d.Reason.Malicious()
-		d.CertAsked = w.rng.Float64() < w.Cfg.TransientCertRate
-		d.Registrar = registrar.PickTransient(w.rng)
-		w.scheduleDomain(d, true)
-	}
-
-	// Ghost issuances: stale-DV-token certificates for long-gone domains.
-	nGhost := int(float64(plan.TransientTotal()) * scale * w.Cfg.GhostRate)
-	for i := 0; i < nGhost; i++ {
-		w.scheduleGhost(plan.TLD, weights)
-	}
-}
-
-// scheduleDomain wires one registration's full lifecycle onto the clock.
-func (w *World) scheduleDomain(d *Domain, transient bool) {
-	w.Domains[d.Name] = d
-	// Mail infrastructure adoption differs between ordinary and
-	// fast-deleted registrations (future-work §5 measurements).
-	if transient {
-		d.HasMX = w.rng.Float64() < 0.22
-		d.HasSPF = w.rng.Float64() < 0.30
-	} else {
-		d.HasMX = w.rng.Float64() < 0.55
-		d.HasSPF = w.rng.Float64() < 0.50
-	}
-	dnsProv := hosting.PickDNS(w.rng, transient)
-	webProv := hosting.PickWeb(w.rng, transient)
-	d.DNSHost = dnsProv.Name
-	d.WebHost = webProv.Name
-	ns := dnsProv.NSNames(w.rng.Intn(13))
-	web := webProv.WebAddr(w.rng.Uint64())
-	caIdx := w.rng.Intn(len(w.CAs))
-	certDelay := w.sampleCertDelay(transient)
-	nsChange := w.rng.Float64() < w.Cfg.NSChangeRate
-	nsChangeAt := time.Duration(w.rng.Int63n(int64(24 * time.Hour)))
-	nodRate := w.Cfg.NODRateNoCert
-	if d.CertAsked {
-		nodRate = w.Cfg.NODRateWithCert
-	}
-	if d.Malicious {
-		flags := w.Blocklists.ConsiderAbusive(w.rng, d.Name, d.Created)
-		// A slice of *flagged* abusive domains are re-registrations of
-		// previously listed names (§4.3: ≈3 % of flagged NRDs were on a
-		// blocklist before their registration date).
-		if flags > 0 && w.rng.Float64() < w.Cfg.ReRegistrationRate {
-			w.Blocklists.SeedFlag("DBL", d.Name, d.Created.Add(-time.Duration(30+w.rng.Intn(170))*24*time.Hour))
-			w.DZDB.Observe(d.Name, d.Created.Add(-time.Duration(200+w.rng.Intn(160))*24*time.Hour))
-		}
-	}
-	w.NOD.ObserveWithRate(w.rng, d.Name, d.Created, d.Lifetime, nodRate)
-
-	reg := w.Registries[d.TLD]
-	w.Clock.At(d.Created, func() {
-		if _, err := reg.Register(d.Name, d.Registrar, ns, web); err != nil {
-			return // rare name collision with an active registration
-		}
-		if d.CertAsked {
-			w.requestCert(w.CAs[caIdx], d.Name, d.Name, certDelay, 0)
-		}
-		if nsChange && (d.Lifetime == 0 || nsChangeAt < d.Lifetime) {
-			alt := hosting.PickDNS(w.rng, transient)
-			altNS := alt.NSNames(w.rng.Intn(13))
-			w.Clock.After(nsChangeAt, func() { _ = reg.UpdateNS(d.Name, altNS) })
-		}
-		if d.Lifetime > 0 {
-			w.Clock.After(d.Lifetime, func() { _ = reg.Delete(d.Name) })
-		}
-	})
-}
-
-// sampleCertDelay draws the registrant's setup delay between registration
-// and the first certificate request. Ordinary registrants take tens of
-// minutes to hours (Figure 1: ≈30 % of domains are certified within
-// 15 min, ≈50 % within 45 min, with a <2 % multi-day tail from delayed
-// setups); abusive fast-deleted registrations move quicker.
-func (w *World) sampleCertDelay(transient bool) time.Duration {
-	if transient {
-		return time.Duration(w.rng.ExpFloat64() * float64(25*time.Minute))
-	}
-	x := w.rng.Float64()
-	switch {
-	case x < 0.02:
-		// Long tail: setup finished days later.
-		return 24*time.Hour + time.Duration(w.rng.Int63n(int64(36*time.Hour)))
-	case x < 0.22:
-		// Automated hosting onboarding requests certificates at once.
-		return time.Duration(w.rng.ExpFloat64() * float64(6*time.Minute))
-	default:
-		return time.Duration(w.rng.ExpFloat64() * float64(70*time.Minute))
-	}
-}
-
-// requestCert retries issuance while the domain has not yet entered its
-// TLD zone — modelling ACME clients retrying validation until the
-// registry's next zone rebuild publishes the delegation. This retry chain
-// is what couples Figure 1's detection delay to zone-update cadence.
-func (w *World) requestCert(issuer *ca.CA, regDomain, cn string, initialDelay time.Duration, attempt int) {
-	w.Clock.After(initialDelay, func() {
-		issuer.Issue(regDomain, cn, nil, func(_ ct.Entry, err error) {
-			if err == nil || attempt >= 8 {
-				return
-			}
-			retry := time.Duration(1+w.rng.Intn(4)) * time.Minute
-			w.requestCert(issuer, regDomain, cn, retry, attempt+1)
-		})
-	})
-}
-
-// scheduleGhost plants a past domain with a still-valid DV token, then
-// issues a certificate for it during the window (no registration exists).
-func (w *World) scheduleGhost(tld string, weights [3]float64) {
-	name := w.domainName(tld)
-	d := &Domain{Name: name, TLD: tld, Ghost: true, Created: w.sampleCreation(weights)}
-	w.Ghosts = append(w.Ghosts, d)
-	issuer := w.CAs[w.rng.Intn(len(w.CAs))]
-	validatedAgo := time.Duration(30+w.rng.Intn(350)) * 24 * time.Hour
-	issuer.SeedToken(name, d.Created.Add(-validatedAgo))
-	// ≈97 % of ghost domains existed in historical zone data (§4.2).
-	if w.rng.Float64() < 0.97 {
-		w.DZDB.Observe(name, d.Created.Add(-validatedAgo))
-	}
-	w.Clock.At(d.Created, func() {
-		issuer.Issue(name, name, nil, nil) // token reuse: no live validation
-	})
-}
-
-// scheduleCCTLD generates the ccTLD population. Unlike the gTLD plans,
-// counts here follow the paper's absolute numbers (714 fast-deleted .nl
-// domains over 3 months) scaled only by window length: the ccTLD
-// experiment is about a small ground-truth ledger, and scaling it by the
-// global Scale factor would leave no sample at reproduction scales.
-func (w *World) scheduleCCTLD(plan CCTLDPlan, weeks int) {
-	scale := float64(weeks*7) / 91.0
-	weights := [3]float64{1. / 3, 1. / 3, 1. / 3}
-
-	nNormal := int(float64(plan.Normal) * scale)
-	for i := 0; i < nNormal; i++ {
-		d := &Domain{
-			Name:      w.domainName(plan.TLD),
-			TLD:       plan.TLD,
-			Created:   w.sampleCreation(weights),
-			Registrar: registrar.Pick(w.rng),
-		}
-		d.CertAsked = w.rng.Float64() < 0.45
-		w.scheduleDomain(d, false)
-	}
-	// ccTLD fast-deleted domains: lifetimes uniform in (0, 24 h) — the
-	// .nl ledger shows roughly half were still caught by a daily
-	// snapshot (334 of 714 were not).
-	nFast := int(float64(plan.FastDeleted) * scale)
-	for i := 0; i < nFast; i++ {
-		d := &Domain{
-			Name:       w.domainName(plan.TLD),
-			TLD:        plan.TLD,
-			Created:    w.sampleCreation(weights),
-			Lifetime:   time.Duration(1 + w.rng.Int63n(int64(24*time.Hour-2))),
-			FastDelete: true,
-		}
-		d.Reason = registrar.SampleRemovalReason(w.rng)
-		d.Malicious = d.Reason.Malicious()
-		d.CertAsked = w.rng.Float64() < plan.TransientCertRate
-		d.Registrar = registrar.PickTransient(w.rng)
-		w.scheduleDomain(d, true)
-	}
-}
-
-const nameAlphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
-
-// domainName generates a fresh random registrable name under tld.
-func (w *World) domainName(tld string) string {
-	for {
-		b := make([]byte, 10)
-		for i := range b {
-			b[i] = nameAlphabet[w.rng.Intn(len(nameAlphabet))]
-		}
-		// LDH: avoid leading digit purely for aesthetics.
-		name := fmt.Sprintf("%s.%s", b, tld)
-		if _, exists := w.Domains[name]; !exists {
-			return name
-		}
-	}
-}
-
-func hashString(s string) int64 {
-	var h int64 = 1469598103934665603
-	for i := 0; i < len(s); i++ {
-		h ^= int64(s[i])
-		h *= 1099511628211
-	}
-	return h
 }

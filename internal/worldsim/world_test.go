@@ -1,6 +1,9 @@
 package worldsim
 
 import (
+	"fmt"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -157,6 +160,109 @@ func TestProbeBackend(t *testing.T) {
 		t.Fatal("unknown domain resolved")
 	}
 	w.Stop()
+}
+
+// worldFingerprint canonically serializes a freshly built world's ground
+// truth: every domain record (sorted by name) plus the ghost list in
+// commit order.
+func worldFingerprint(w *World) string {
+	names := make([]string, 0, len(w.Domains))
+	for name := range w.Domains {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&sb, "%+v\n", *w.Domains[name])
+	}
+	for _, g := range w.Ghosts {
+		fmt.Fprintf(&sb, "ghost %+v\n", *g)
+	}
+	return sb.String()
+}
+
+// TestWorldIdenticalAcrossBuildWorkers: the two-phase builder's
+// determinism contract — compiling per-TLD layouts serially, on a
+// single-width pool, or on a wide pool must produce byte-identical
+// worlds, both the static ground truth and the full event stream a run
+// delivers.
+func TestWorldIdenticalAcrossBuildWorkers(t *testing.T) {
+	base := tinyConfig(11)
+	fingerprint := func(workers int) (string, string) {
+		cfg := base
+		cfg.BuildWorkers = workers
+		w := New(cfg)
+		fp := worldFingerprint(w)
+		w.Stop()
+		evs := RecordedEvents(cfg)
+		var sb strings.Builder
+		for _, ev := range evs {
+			fmt.Fprintf(&sb, "%+v\n", ev)
+		}
+		return fp, sb.String()
+	}
+	serialWorld, serialEvents := fingerprint(0)
+	for _, workers := range []int{1, 8} {
+		world, events := fingerprint(workers)
+		if world != serialWorld {
+			t.Errorf("BuildWorkers=%d ground truth diverges from serial", workers)
+		}
+		if events != serialEvents {
+			t.Errorf("BuildWorkers=%d event stream diverges from serial", workers)
+		}
+	}
+}
+
+// TestDomainNamesUniqueWorldwide: collision checks are per-TLD-chunk
+// now (names embed their TLD; chunks stamp a discriminator), so this
+// regression test pins the invariant that generated names —
+// registrations and ghosts — stay unique across the whole world, at a
+// scale where the dominant plans split into several chunks.
+func TestDomainNamesUniqueWorldwide(t *testing.T) {
+	cfg := DefaultConfig(13, 0.01)
+	cfg.Weeks = 2
+	cfg.BuildWorkers = 4
+	if k := planChunks(&cfg, PaperPlans()[0]); k < 2 {
+		t.Fatalf("com plan compiles in %d chunk(s); test needs a multi-chunk scale", k)
+	}
+	w := New(cfg)
+	defer w.Stop()
+	if w.dupNames != 0 {
+		t.Fatalf("%d duplicate names across layouts", w.dupNames)
+	}
+	seen := make(map[string]bool, len(w.Domains)+len(w.Ghosts))
+	for name := range w.Domains {
+		seen[name] = true
+	}
+	for _, g := range w.Ghosts {
+		if seen[g.Name] {
+			t.Errorf("ghost name %s collides with another generated name", g.Name)
+		}
+		seen[g.Name] = true
+	}
+}
+
+// TestChunkedBuildIdentical: at a scale where plans split into multiple
+// compile chunks, the built ground truth must still be byte-identical
+// across compile widths (build-only — the event-stream identity is
+// covered at single-chunk scale by TestWorldIdenticalAcrossBuildWorkers
+// and at campaign level in analysis).
+func TestChunkedBuildIdentical(t *testing.T) {
+	base := DefaultConfig(19, 0.01)
+	base.Weeks = 2
+	build := func(workers int) string {
+		cfg := base
+		cfg.BuildWorkers = workers
+		w := New(cfg)
+		defer w.Stop()
+		return worldFingerprint(w)
+	}
+	serial := build(0)
+	for _, workers := range []int{1, 8} {
+		if build(workers) != serial {
+			t.Errorf("BuildWorkers=%d chunked ground truth diverges from serial", workers)
+		}
+	}
 }
 
 func TestPlansMatchPaperTotals(t *testing.T) {
