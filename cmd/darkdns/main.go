@@ -26,6 +26,7 @@ func main() {
 	rdapWorkers := flag.Int("rdap-workers", 0, "RDAP dispatch mode: 0 = serial lookups, ≥1 = async per-TLD queues drained by this worker pool width (same results either way)")
 	clockWorkers := flag.Int("clock-workers", 0, "event engine drain mode: 0 = serial event loop, ≥1 = batch-fire same-timestamp events through this worker pool width (same results either way)")
 	buildWorkers := flag.Int("build-workers", 0, "world builder compile mode: 0 = serial layout, ≥1 = compile per-TLD layouts on this worker pool width (same world either way)")
+	commitWorkers := flag.Int("commit-workers", 0, "world builder commit mode: 0 = serial install, ≥1 = commit compiled layouts on this worker pool width (same world either way)")
 	verbose := flag.Bool("v", false, "print every confirmed transient domain")
 	export := flag.String("export", "", "write candidates to this file in columnar format")
 	flag.Parse()
@@ -34,7 +35,7 @@ func main() {
 	res := analysis.Run(analysis.RunConfig{
 		Seed: *seed, Scale: *scale, Weeks: *weeks, WatchSampleRate: 1.0,
 		IngestWorkers: *ingestWorkers, RDAPWorkers: *rdapWorkers, ClockWorkers: *clockWorkers,
-		BuildWorkers: *buildWorkers,
+		BuildWorkers: *buildWorkers, CommitWorkers: *commitWorkers,
 	})
 	fmt.Printf("simulated %d weeks at scale %g in %v\n", *weeks, *scale, time.Since(start).Round(time.Millisecond))
 
@@ -72,7 +73,7 @@ func main() {
 
 	if *verbose {
 		for _, c := range rep.Confirmed {
-			gt := res.World.Domains[c.Domain]
+			gt := res.World.Domains.Get(c.Domain)
 			life := time.Duration(0)
 			if gt != nil {
 				life = gt.Lifetime

@@ -30,17 +30,18 @@ func main() {
 	rdapWorkers := flag.Int("rdap-workers", 0, "RDAP dispatch mode: 0 = serial lookups, ≥1 = async per-TLD queues drained by this worker pool width (byte-identical output either way)")
 	clockWorkers := flag.Int("clock-workers", 0, "event engine drain mode: 0 = serial event loop, ≥1 = batch-fire same-timestamp events through this worker pool width (byte-identical output either way)")
 	buildWorkers := flag.Int("build-workers", 0, "world builder compile mode: 0 = serial layout, ≥1 = compile per-TLD layouts on this worker pool width (byte-identical output either way)")
+	commitWorkers := flag.Int("commit-workers", 0, "world builder commit mode: 0 = serial install, ≥1 = commit compiled layouts on this worker pool width (byte-identical output either way)")
 	exp := flag.String("exp", "all", "experiment to run (table1..table5, figure1, figure2, nsstability, rdapfail, blocklists, nod, cctld, rzu, mail, all)")
 	csvDir := flag.String("csv", "", "directory to write figure CSVs for external plotting")
 	flag.Parse()
 
-	fmt.Fprintf(os.Stderr, "building world (scale=%g, weeks=%d, seed=%d, build-workers=%d, ingest-workers=%d, rdap-workers=%d, clock-workers=%d)…\n",
-		*scale, *weeks, *seed, *buildWorkers, *ingestWorkers, *rdapWorkers, *clockWorkers)
+	fmt.Fprintf(os.Stderr, "building world (scale=%g, weeks=%d, seed=%d, build-workers=%d, commit-workers=%d, ingest-workers=%d, rdap-workers=%d, clock-workers=%d)…\n",
+		*scale, *weeks, *seed, *buildWorkers, *commitWorkers, *ingestWorkers, *rdapWorkers, *clockWorkers)
 	start := time.Now()
 	res := analysis.Run(analysis.RunConfig{
 		Seed: *seed, Scale: *scale, Weeks: *weeks, WatchSampleRate: *watch, ProbeMail: true,
 		IngestWorkers: *ingestWorkers, RDAPWorkers: *rdapWorkers, ClockWorkers: *clockWorkers,
-		BuildWorkers: *buildWorkers,
+		BuildWorkers: *buildWorkers, CommitWorkers: *commitWorkers,
 	})
 	fmt.Fprintf(os.Stderr, "simulation complete in %v: %d candidates, %d transient lower bound\n",
 		time.Since(start).Round(time.Millisecond), res.Pipeline.Len(), len(res.Report.LowerBound))

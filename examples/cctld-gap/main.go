@@ -29,7 +29,7 @@ func main() {
 		if c.TLD != cc.TLD || shown >= 5 {
 			continue
 		}
-		gt := res.World.Domains[c.Domain]
+		gt := res.World.Domains.Get(c.Domain)
 		if gt == nil || !gt.FastDelete {
 			continue
 		}

@@ -57,7 +57,7 @@ func main() {
 		if i >= 5 {
 			break
 		}
-		gt := world.Domains[c.Domain]
+		gt := world.Domains.Get(c.Domain)
 		fmt.Printf("  %-26s lived %v before takedown (%s)\n",
 			c.Domain, gt.Lifetime.Round(time.Minute), gt.Reason)
 	}

@@ -33,7 +33,7 @@ func main() {
 	var flagged []finding
 	neverFlagged := 0
 	for _, c := range report.Confirmed {
-		gt := res.World.Domains[c.Domain]
+		gt := res.World.Domains.Get(c.Domain)
 		if gt == nil {
 			continue
 		}

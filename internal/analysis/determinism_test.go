@@ -137,6 +137,46 @@ func TestSerialParallelBuildCampaignsIdentical(t *testing.T) {
 	}
 }
 
+// TestSerialParallelCommitCampaignsIdentical: the same byte-identity
+// must hold for the world builder's commit engine — compiled layouts
+// installed serially (CommitWorkers=0), on a single-width pool
+// (CommitWorkers=1), and on a wide pool (CommitWorkers=8), alone and
+// stacked with all four other engines. Record installs stripe across
+// the sharded domain store and substrate seedings commute across the
+// distinct names layouts own; the ghost ledger and clock timelines
+// install serially in canonical order, so commit width is unobservable.
+func TestSerialParallelCommitCampaignsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full campaigns")
+	}
+	base := RunConfig{Seed: 53, Scale: 0.0008, Weeks: 2, WatchSampleRate: 1.0, ProbeMail: true}
+	render := func(cfg RunConfig) []byte {
+		r := Run(cfg)
+		var buf bytes.Buffer
+		if err := WriteReport(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(base)
+	for _, cfg := range []RunConfig{
+		{CommitWorkers: 1},
+		{CommitWorkers: 8},
+		{CommitWorkers: 8, BuildWorkers: 8, ClockWorkers: 8, RDAPWorkers: 8, IngestWorkers: 8},
+	} {
+		run := base
+		run.CommitWorkers = cfg.CommitWorkers
+		run.BuildWorkers = cfg.BuildWorkers
+		run.ClockWorkers = cfg.ClockWorkers
+		run.RDAPWorkers = cfg.RDAPWorkers
+		run.IngestWorkers = cfg.IngestWorkers
+		if got := render(run); !bytes.Equal(serial, got) {
+			t.Errorf("commit-workers=%d build-workers=%d clock-workers=%d rdap-workers=%d ingest-workers=%d report diverges from serial",
+				cfg.CommitWorkers, cfg.BuildWorkers, cfg.ClockWorkers, cfg.RDAPWorkers, cfg.IngestWorkers)
+		}
+	}
+}
+
 // TestSerialBatchedClockCampaignsIdentical: the same byte-identity must
 // hold for the event engine's drain mode — the serial heap-order drain
 // (ClockWorkers=0), batch-firing with a single-width pool

@@ -480,13 +480,13 @@ func BlocklistCoverage(r *Results, pollEnd time.Time) (earlyRemoved, transients 
 
 	// Early-removed: ground-truth domains deleted before window end but
 	// visible in snapshots (not fast-deleted).
-	for _, d := range r.World.Domains {
+	r.World.Domains.Range(func(d *worldsim.Domain) {
 		if d.FastDelete || d.Lifetime == 0 {
-			continue
+			return
 		}
 		deleted := d.Created.Add(d.Lifetime)
 		if deleted.After(r.WindowEnd) {
-			continue
+			return
 		}
 		earlyRemoved.Population++
 		tm := agg.Classify(d.Name, d.Created, deleted, pollEnd)
@@ -494,11 +494,11 @@ func BlocklistCoverage(r *Results, pollEnd time.Time) (earlyRemoved, transients 
 			earlyRemoved.Flagged++
 			earlyRemoved.Timing[tm]++
 		}
-	}
+	})
 
 	for _, c := range r.Report.Confirmed {
 		transients.Population++
-		gt := r.World.Domains[c.Domain]
+		gt := r.World.Domains.Get(c.Domain)
 		if gt == nil {
 			continue
 		}
@@ -540,9 +540,9 @@ func CompareNOD(r *Results, day time.Time) NODComparison {
 			ctSet[c.Domain] = true
 		}
 	}
-	for _, d := range r.World.Domains {
+	r.World.Domains.Range(func(d *worldsim.Domain) {
 		if d.Ghost || d.Created.Before(day) || !d.Created.Before(dayEnd) {
-			continue
+			return
 		}
 		_, nod := r.World.NOD.DetectedAt(d.Name)
 		ct := ctSet[d.Name]
@@ -568,7 +568,7 @@ func CompareNOD(r *Results, day time.Time) NODComparison {
 				cmp.TransUnion++
 			}
 		}
-	}
+	})
 	return cmp
 }
 
@@ -626,10 +626,10 @@ func TLDOf(domain string) string { return dnsname.TLD(domain) }
 // pipeline; used in EXPERIMENTS.md commentary).
 func GroundTruthTransientCount(w *worldsim.World) int {
 	n := 0
-	for _, d := range w.Domains {
+	w.Domains.Range(func(d *worldsim.Domain) {
 		if d.FastDelete {
 			n++
 		}
-	}
+	})
 	return n
 }

@@ -62,6 +62,14 @@ type RunConfig struct {
 	// are byte-identical across widths (each plan draws from its own
 	// seed-derived RNG stream).
 	BuildWorkers int
+	// CommitWorkers selects the world builder's commit fan-out: 0
+	// installs compiled layouts serially, ≥1 commits them on a worker
+	// pool this wide — record installs stripe across the sharded domain
+	// store and substrate seedings are commutative across the distinct
+	// names layouts own, while ghost-ledger and clock-timeline installs
+	// stay serial in canonical order. Worlds — and therefore campaign
+	// reports — are byte-identical across widths.
+	CommitWorkers int
 }
 
 // DefaultRunConfig is sized for test and example runs: ≈1/500 of paper
@@ -79,6 +87,7 @@ func Run(cfg RunConfig) *Results {
 		wcfg.Weeks = cfg.Weeks
 	}
 	wcfg.BuildWorkers = cfg.BuildWorkers
+	wcfg.CommitWorkers = cfg.CommitWorkers
 	w := worldsim.New(wcfg)
 	start, end := w.Window()
 

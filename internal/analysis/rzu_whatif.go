@@ -2,6 +2,8 @@ package analysis
 
 import (
 	"time"
+
+	"darkdns/internal/worldsim"
 )
 
 // RZUWhatIf quantifies the paper's §5 proposal: if registries published
@@ -32,14 +34,14 @@ func RZUWhatIf(r *Results, interval time.Duration) RZUWhatIfResult {
 	for _, c := range r.Pipeline.Candidates() {
 		ct[c.Domain] = true
 	}
-	for _, d := range r.World.Domains {
+	r.World.Domains.Range(func(d *worldsim.Domain) {
 		if !d.FastDelete || d.TLD == r.World.Cfg.CCTLD.TLD {
-			continue
+			return
 		}
 		reg := r.World.Registries[d.TLD]
 		gt, ok := reg.Lookup(d.Name)
 		if !ok {
-			continue
+			return
 		}
 		res.FastDeleted++
 		detected := ct[d.Name]
@@ -47,7 +49,7 @@ func RZUWhatIf(r *Results, interval time.Duration) RZUWhatIfResult {
 			res.CTDetected++
 		}
 		if gt.InZoneAt.IsZero() {
-			continue // never entered the zone: invisible to everyone
+			return // never entered the zone: invisible to everyone
 		}
 		out := gt.OutOfZoneAt
 		if out.IsZero() {
@@ -65,6 +67,6 @@ func RZUWhatIf(r *Results, interval time.Duration) RZUWhatIfResult {
 				res.RZUOnlyExtra++
 			}
 		}
-	}
+	})
 	return res
 }

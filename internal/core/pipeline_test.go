@@ -135,7 +135,7 @@ func TestEndToEndAgainstWorld(t *testing.T) {
 	// Ground-truth check: every confirmed transient must be fast-deleted
 	// in the world's ledger.
 	for _, c := range rep.Confirmed {
-		gt := w.Domains[c.Domain]
+		gt := w.Domains.Get(c.Domain)
 		if gt == nil {
 			t.Errorf("confirmed transient %s has no ground truth", c.Domain)
 			continue

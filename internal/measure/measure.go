@@ -14,6 +14,12 @@
 // and observers fire serially in watch-admission order, which is exactly
 // the delivery order the per-domain scheduler produced. Event count per
 // campaign therefore scales with rounds, not probes.
+//
+// Concurrency model (DESIGN.md §7): the watch registry is sharded 32
+// ways with copy-on-write observer lists; round probe batches fan out on
+// workpool. Determinism contract: because probes are side-effect-free
+// reads and delivery stays in admission order, fleet reports are
+// byte-identical at any pool width and under either clock drain mode.
 package measure
 
 import (

@@ -12,6 +12,13 @@
 // swapped copy-on-write; the RateLimiter's bucket table is striped over
 // independent locks keyed by client hash. Nothing on the lookup path
 // takes a global lock.
+//
+// Determinism contract: this is the repo's second engine, wired as
+// analysis.RunConfig.RDAPWorkers and the -rdap-workers flags. The
+// dispatcher's drain barrier executes every due query at one simulated
+// instant and failure injection derives from (seed, domain), so
+// campaign reports are byte-identical across serial lookups and any
+// dispatch pool width (analysis.TestSerialParallelRDAPDispatchIdentical).
 package rdap
 
 import (

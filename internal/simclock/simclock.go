@@ -21,7 +21,14 @@
 // a worker pool behind a completion barrier. Parallel-marked callbacks
 // must be commutative with other same-instant parallel callbacks; under
 // that contract serial and batched drains produce byte-identical
-// campaigns at any pool width.
+// campaigns at any pool width — the determinism bar
+// analysis.TestSerialBatchedClockCampaignsIdentical enforces.
+//
+// This is the repo's third engine (DESIGN.md §7), wired through
+// worldsim.World.RunBatched, analysis.RunConfig.ClockWorkers and the
+// -clock-workers flags. Bulk producers (the world builder's commit
+// engine, DESIGN.md §9) install whole timelines through
+// ScheduleBatch/AtBatch, one lock acquisition per batch.
 package simclock
 
 import (

@@ -1,9 +1,19 @@
 // Package workpool provides the bounded work-stealing loop the hot
 // paths share: N indexed items executed by up to W goroutines pulling
-// from an atomic counter, with a completion barrier. Both the ingest
-// engine's batch screening (core.HandleBatch) and the RDAP dispatch
-// engine's drain rounds (rdap.Dispatcher) run on it, so the hottest
-// concurrency idiom in the repo has one implementation to review.
+// from an atomic counter, with a completion barrier. All five engines
+// run on it — the ingest engine's batch screening (core.HandleBatch,
+// DESIGN.md §3), the RDAP dispatcher's drain rounds (§6), the batched
+// clock's parallel event groups and the fleet's probe rounds (§7), and
+// the world builder's compile and commit fan-outs (§8–§9) — so the
+// hottest concurrency idiom in the repo has one implementation to
+// review.
+//
+// Determinism contract: Run promises nothing about execution order, so
+// callers must hand it commutative work (or, like the builder, buffer
+// order-sensitive effects and apply them serially afterwards); in
+// exchange, workers ≤ 1 degenerates to a plain loop on the caller's
+// goroutine, which is what keeps every engine's serial mode a true
+// zero-overhead baseline.
 package workpool
 
 import (

@@ -65,7 +65,7 @@ func (b probeBackend) liveDomain(domain string) *Domain {
 	if reg == nil || !reg.InZone(domain) {
 		return nil
 	}
-	return b.w.Domains[domain]
+	return b.w.Domains.Get(domain)
 }
 
 // WebHostSPFDomain derives the SPF include target from the hosting

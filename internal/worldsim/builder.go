@@ -1,7 +1,11 @@
 // Commit phase of the two-phase world builder (compile lives in
-// layout.go): install compiled layouts into the live world, serially and
-// in canonical plan order, so the resulting world is byte-identical at
-// any compile width.
+// layout.go): install compiled layouts into the live world. The
+// commutative bulk of a layout — record installs on the sharded
+// DomainStore, NOD/blocklist/DZDB seedings, DV tokens — commits on a
+// worker pool at Config.CommitWorkers width; the order-sensitive
+// remainder (the ghost ledger, the clock-timeline ScheduleBatch calls)
+// stays serial in canonical (plan, chunk) order, so the resulting world
+// is byte-identical at any compile or commit width (DESIGN.md §9).
 package worldsim
 
 import (
@@ -58,66 +62,80 @@ func compileLayouts(env *buildEnv) []*Layout {
 	return layouts
 }
 
-// commit installs compiled layouts in canonical plan order: ground-truth
-// records into Domains, buffered seedings into the NOD feed, blocklists
-// and DZDB, DV tokens into the CAs, and each layout's timeline onto the
-// clock through one ScheduleBatch call (one lock acquisition per layout
-// instead of one per event). Serial by design: determinism comes from
-// the fixed order, speed from the batch APIs.
+// commit installs compiled layouts through the parallel commit engine.
+// Phase one fans per-layout installs out on a worker pool at
+// Config.CommitWorkers width (≤1 = serial on the caller): ground-truth
+// records into the sharded Domains store, buffered seedings into the NOD
+// feed, blocklists and DZDB, DV tokens into the CAs, and each layout's
+// timeline into a private slice. Every one of those effects is
+// commutative across layouts — layouts own distinct names (structurally,
+// while plans own distinct TLDs; the dupNames counter is the safety
+// net), and the substrates take earliest-wins / min-max / keyed updates
+// under their own locks — so phase one is order-free. Phase two is the
+// serial remainder: the ghost ledger append (slice order) and the
+// ScheduleBatch calls (event sequence numbers), both order-sensitive,
+// run in canonical (plan, chunk) order. One lock acquisition per layout
+// on the clock either way; determinism comes from the fixed phase-two
+// order, speed from striping phase one.
 func (w *World) commit(layouts []*Layout) {
-	total, ghosts := 0, 0
+	total := 0
 	for _, l := range layouts {
 		total += len(l.domains)
-		ghosts += len(l.ghosts)
 	}
-	w.Domains = make(map[string]*Domain, total)
-	// Name collisions between layouts are impossible while plans own
-	// distinct TLDs (chunk discriminators partition within a plan); the
-	// dupNames counter is the safety net for configs that violate that
-	// rule. Ghost names live in their own set — they are deliberately
-	// absent from Domains.
-	ghostSeen := make(map[string]struct{}, ghosts)
-	var timeline []simclock.Timed
-	for _, l := range layouts {
-		timeline = timeline[:0]
-		for _, r := range l.domains {
-			_, dupD := w.Domains[r.d.Name]
-			_, dupG := ghostSeen[r.d.Name]
-			if dupD || dupG {
-				w.dupNames++
-			}
-			w.Domains[r.d.Name] = r.d
-			timeline = append(timeline, simclock.Timed{At: r.d.Created, Fn: w.registrationFn(r)})
-		}
+	w.Domains = newDomainStore(total)
+	timelines := make([][]simclock.Timed, len(layouts))
+	workpool.Run(len(layouts), w.Cfg.CommitWorkers, func(i int) {
+		timelines[i] = w.commitLayout(layouts[i], i)
+	})
+	for i, l := range layouts {
 		for _, g := range l.ghosts {
-			_, dupD := w.Domains[g.d.Name]
-			_, dupG := ghostSeen[g.d.Name]
-			if dupD || dupG {
-				w.dupNames++
-			}
-			ghostSeen[g.d.Name] = struct{}{}
 			w.Ghosts = append(w.Ghosts, g.d)
-			issuer := w.CAs[g.caIdx]
-			issuer.SeedToken(g.d.Name, g.tokenAt)
-			if g.inDZDB {
-				w.DZDB.Observe(g.d.Name, g.tokenAt)
-			}
-			name := g.d.Name
-			timeline = append(timeline, simclock.Timed{At: g.d.Created, Fn: func() {
-				issuer.Issue(name, name, nil, nil) // token reuse: no live validation
-			}})
 		}
-		for _, s := range l.nod {
-			w.NOD.Seed(s.domain, s.at)
-		}
-		for _, f := range l.flags {
-			w.Blocklists.SeedFlag(f.List, f.Domain, f.At)
-		}
-		for _, s := range l.dzdb {
-			w.DZDB.Observe(s.domain, s.at)
-		}
-		w.Clock.ScheduleBatch(timeline)
+		w.Clock.ScheduleBatch(timelines[i])
 	}
+}
+
+// commitLayout installs one layout's commutative effects and returns its
+// compiled timeline for the serial ScheduleBatch pass. rank is the
+// layout's canonical index, which decides duplicate-name winners the
+// way serial order used to. Safe for concurrent invocation with
+// distinct layouts: the Domains store is sharded, the substrates lock
+// internally, and the registries/CAs the timeline closures capture are
+// only read here.
+func (w *World) commitLayout(l *Layout, rank int) []simclock.Timed {
+	timeline := make([]simclock.Timed, 0, len(l.domains)+len(l.ghosts))
+	for _, r := range l.domains {
+		if w.Domains.install(r.d, rank) {
+			w.dupNames.Add(1)
+		}
+		timeline = append(timeline, simclock.Timed{At: r.d.Created, Fn: w.registrationFn(r)})
+	}
+	for _, g := range l.ghosts {
+		// Ghost names join the store's uniqueness set only — they have no
+		// registration, so Get keeps returning nil for them.
+		if w.Domains.installGhost(g.d.Name) {
+			w.dupNames.Add(1)
+		}
+		issuer := w.CAs[g.caIdx]
+		issuer.SeedToken(g.d.Name, g.tokenAt)
+		if g.inDZDB {
+			w.DZDB.Observe(g.d.Name, g.tokenAt)
+		}
+		name := g.d.Name
+		timeline = append(timeline, simclock.Timed{At: g.d.Created, Fn: func() {
+			issuer.Issue(name, name, nil, nil) // token reuse: no live validation
+		}})
+	}
+	for _, s := range l.nod {
+		w.NOD.Seed(s.domain, s.at)
+	}
+	for _, f := range l.flags {
+		w.Blocklists.SeedFlag(f.List, f.Domain, f.At)
+	}
+	for _, s := range l.dzdb {
+		w.DZDB.Observe(s.domain, s.at)
+	}
+	return timeline
 }
 
 // registrationFn wires one compiled registration's lifecycle into a

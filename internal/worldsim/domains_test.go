@@ -1,0 +1,159 @@
+package worldsim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDomainStoreBasics pins the store's accessor semantics: Get misses
+// return nil, Len counts distinct registrations, Range visits every
+// record exactly once, and ghost names are invisible to Get while still
+// tripping duplicate detection.
+func TestDomainStoreBasics(t *testing.T) {
+	s := newDomainStore(8)
+	if s.Get("absent.com") != nil {
+		t.Fatal("Get on empty store returned a record")
+	}
+	d1 := &Domain{Name: "alpha.com"}
+	if s.install(d1, 0) {
+		t.Error("first install reported a duplicate")
+	}
+	if s.install(&Domain{Name: "alpha.com"}, 1) != true {
+		t.Error("re-install of alpha.com not reported as duplicate")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d after duplicate install, want 1", s.Len())
+	}
+	if s.installGhost("ghost.com") {
+		t.Error("fresh ghost reported as duplicate")
+	}
+	if s.Get("ghost.com") != nil {
+		t.Error("ghost name visible through Get")
+	}
+	if !s.installGhost("alpha.com") {
+		t.Error("ghost colliding with a registration not reported")
+	}
+	if !s.install(&Domain{Name: "ghost.com"}, 0) {
+		t.Error("registration colliding with a ghost not reported")
+	}
+	seen := 0
+	s.Range(func(d *Domain) { seen++ })
+	if seen != s.Len() {
+		t.Errorf("Range visited %d records, Len = %d", seen, s.Len())
+	}
+}
+
+// TestDomainStoreDuplicateWinnerByRank: when two layouts install the
+// same name (off-contract duplicate-TLD plans), the canonical-rank
+// winner must be deterministic regardless of arrival order — the
+// highest rank wins, matching the serial commit's last-writer.
+func TestDomainStoreDuplicateWinnerByRank(t *testing.T) {
+	hi := &Domain{Name: "clash.com", Registrar: "later-layout"}
+	lo := &Domain{Name: "clash.com", Registrar: "earlier-layout"}
+
+	s := newDomainStore(2)
+	s.install(lo, 0)
+	s.install(hi, 3)
+	if got := s.Get("clash.com"); got != hi {
+		t.Errorf("ascending arrival: winner %q, want later-layout", got.Registrar)
+	}
+
+	s = newDomainStore(2)
+	s.install(hi, 3)
+	s.install(lo, 0)
+	if got := s.Get("clash.com"); got != hi {
+		t.Errorf("descending arrival: winner %q, want later-layout", got.Registrar)
+	}
+}
+
+// TestDomainStoreRaceHammer drives the sharded store the way the commit
+// engine does — many goroutines installing disjoint name sets — while
+// readers Get/Range/Len concurrently. Run under -race in CI; the
+// assertions double as a linearizability smoke check (no lost installs,
+// no phantom duplicates).
+func TestDomainStoreRaceHammer(t *testing.T) {
+	const writers, perWriter = 8, 400
+	s := newDomainStore(writers * perWriter)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				name := fmt.Sprintf("w%d-%d.com", g, i)
+				if s.install(&Domain{Name: name, Created: time.Unix(int64(i), 0)}, g) {
+					t.Errorf("phantom duplicate for %s", name)
+				}
+				s.installGhost(fmt.Sprintf("g%d-%d.com", g, i))
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Get(fmt.Sprintf("w%d-%d.com", r, r))
+				s.Len()
+				n := 0
+				s.Range(func(*Domain) { n++ })
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := s.Len(); got != writers*perWriter {
+		t.Fatalf("Len = %d, want %d", got, writers*perWriter)
+	}
+	for g := 0; g < writers; g++ {
+		for i := 0; i < perWriter; i++ {
+			if s.Get(fmt.Sprintf("w%d-%d.com", g, i)) == nil {
+				t.Fatalf("lost install w%d-%d.com", g, i)
+			}
+		}
+	}
+}
+
+// TestDomainStoreDuplicatesExactUnderConcurrency: the commit engine's
+// safety net (World.dupNames) must count exactly occurrences−1 per name
+// at any interleaving — every install after a name's first observes it
+// present. Hammer one name set from many goroutines and check the total.
+func TestDomainStoreDuplicatesExactUnderConcurrency(t *testing.T) {
+	const writers, names = 8, 100
+	s := newDomainStore(names)
+	dups := make([]int, writers)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < names; i++ {
+				if s.install(&Domain{Name: fmt.Sprintf("dup-%d.com", i)}, g) {
+					dups[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range dups {
+		total += n
+	}
+	if want := (writers - 1) * names; total != want {
+		t.Fatalf("duplicate count %d, want exactly %d", total, want)
+	}
+	if s.Len() != names {
+		t.Fatalf("Len = %d, want %d", s.Len(), names)
+	}
+}

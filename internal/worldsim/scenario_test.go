@@ -26,14 +26,14 @@ func TestCustomScenarioSingleTLD(t *testing.T) {
 	w.Run()
 
 	devCount, otherCount := 0, 0
-	for _, d := range w.Domains {
+	w.Domains.Range(func(d *Domain) {
 		switch d.TLD {
 		case "dev", "nl":
 			devCount++
 		default:
 			otherCount++
 		}
-	}
+	})
 	if otherCount != 0 {
 		t.Errorf("%d domains outside the scenario's TLDs", otherCount)
 	}
@@ -62,14 +62,14 @@ func TestWatchSamplingUnbiased(t *testing.T) {
 	// pipeline concern tested in core — this guards the ground truth
 	// knobs stay coherent for samplers.
 	fast := 0
-	for _, d := range w.Domains {
+	w.Domains.Range(func(d *Domain) {
 		if d.FastDelete {
 			fast++
 			if d.Lifetime <= 0 || d.Lifetime >= 24*time.Hour {
 				t.Fatalf("fast-deleted lifetime %v", d.Lifetime)
 			}
 		}
-	}
+	})
 	if fast == 0 {
 		t.Fatal("no fast-deleted domains")
 	}

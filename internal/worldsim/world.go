@@ -9,12 +9,23 @@
 // as a pure Layout value — each TLD's registrations, ghosts and feed
 // seedings drawn from its own subseed-derived RNG stream (layout.go) —
 // and fans out across plans on a worker pool when Config.BuildWorkers is
-// set. The commit phase installs layouts serially in canonical plan
-// order (builder.go). Worlds are byte-identical at any compile width.
+// set. The commit phase (builder.go) installs layouts through a second
+// engine at Config.CommitWorkers width: per-layout record installs land
+// on the 64-way sharded DomainStore and substrate seedings
+// (NOD/blocklist/DZDB/DV tokens) are commutative across the distinct
+// names different layouts own, so they fan out too; only the ghost
+// ledger and the clock-timeline installs (ScheduleBatch assigns event
+// sequence numbers) stay serial in canonical (plan, chunk) order.
+//
+// Determinism contract (DESIGN.md §2, §8–§9): worlds — and the campaign
+// reports computed from them — are byte-identical at any BuildWorkers
+// and CommitWorkers width, alone or stacked with the ingest, RDAP
+// dispatch and batched-clock engines.
 package worldsim
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"darkdns/internal/blocklist"
@@ -44,6 +55,14 @@ type Config struct {
 	// worker pool this wide. Every width builds a byte-identical world —
 	// each plan draws from its own seed-derived RNG stream.
 	BuildWorkers int
+	// CommitWorkers selects the commit engine's fan-out: 0 installs
+	// compiled layouts serially on the caller, ≥1 installs them on a
+	// worker pool this wide — record installs stripe across the sharded
+	// DomainStore and substrate seedings commute across the distinct
+	// names layouts own, while the ghost ledger and clock timelines stay
+	// serial in canonical order. Every width builds a byte-identical
+	// world.
+	CommitWorkers int
 	// FastDeletedMultiplier converts Table 2 detected-transient targets
 	// into ground-truth fast-deleted registrations. Detected transients
 	// are the subset that obtain a certificate before dying AND miss
@@ -131,16 +150,19 @@ type World struct {
 	NOD        *noddfeed.Feed
 	RDAP       *rdap.Mux
 
-	// Ground truth, keyed by domain name.
-	Domains map[string]*Domain
+	// Domains is the ground truth, keyed by domain name: a 64-way
+	// sharded store (Get/Range/Len) the parallel commit engine installs
+	// into concurrently.
+	Domains *DomainStore
 	// Ghosts are CT-only issuances for long-dead domains.
 	Ghosts []*Domain
 
 	windowEnd time.Time
 	// dupNames counts commit-phase name collisions between layouts. Zero
 	// for any config with distinct plan TLDs (the determinism tests'
-	// world-wide uniqueness invariant).
-	dupNames int
+	// world-wide uniqueness invariant). Atomic: layouts install
+	// concurrently under the commit engine.
+	dupNames atomic.Int64
 }
 
 // Window returns the observation window [start, end).
@@ -214,7 +236,9 @@ func New(cfg Config) *World {
 	}
 
 	// Two-phase build: compile pure per-plan layouts (in parallel when
-	// BuildWorkers is set), then commit them in canonical plan order.
+	// BuildWorkers is set), then commit them through the parallel commit
+	// engine (CommitWorkers wide; the order-sensitive remainder stays
+	// serial in canonical plan order).
 	env := &buildEnv{
 		cfg:    &w.Cfg,
 		numCAs: len(w.CAs),

@@ -18,11 +18,11 @@ func tinyConfig(seed int64) Config {
 
 func TestWorldGeneratesGroundTruth(t *testing.T) {
 	w := New(tinyConfig(1))
-	if len(w.Domains) == 0 {
+	if w.Domains.Len() == 0 {
 		t.Fatal("no domains generated")
 	}
 	var fast, normal, certed int
-	for _, d := range w.Domains {
+	w.Domains.Range(func(d *Domain) {
 		if d.FastDelete {
 			fast++
 			if d.Lifetime <= 0 || d.Lifetime >= 24*time.Hour {
@@ -34,7 +34,7 @@ func TestWorldGeneratesGroundTruth(t *testing.T) {
 		if d.CertAsked {
 			certed++
 		}
-	}
+	})
 	if fast == 0 || normal == 0 {
 		t.Fatalf("population: fast=%d normal=%d", fast, normal)
 	}
@@ -77,7 +77,7 @@ func TestWorldDeterministicAcrossRuns(t *testing.T) {
 	run := func() (int64, int) {
 		w := New(tinyConfig(7))
 		w.Run()
-		return w.Log.Size(), len(w.Domains)
+		return w.Log.Size(), w.Domains.Len()
 	}
 	s1, d1 := run()
 	s2, d2 := run()
@@ -115,7 +115,7 @@ func TestCertsRequireZonePresence(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, e := range entries {
-			d := w.Domains[e.CN]
+			d := w.Domains.Get(e.CN)
 			if d == nil || ghosts[e.CN] {
 				continue
 			}
@@ -134,13 +134,13 @@ func TestProbeBackend(t *testing.T) {
 	w := New(tinyConfig(5))
 	// Find a long-lived domain, run past its creation, then probe.
 	var target *Domain
-	for _, d := range w.Domains {
+	w.Domains.Range(func(d *Domain) {
 		if !d.FastDelete && d.Lifetime == 0 && d.TLD == "com" {
 			if target == nil || d.Created.Before(target.Created) {
 				target = d
 			}
 		}
-	}
+	})
 	if target == nil {
 		t.Skip("no long-lived com domain at this scale")
 	}
@@ -166,14 +166,12 @@ func TestProbeBackend(t *testing.T) {
 // truth: every domain record (sorted by name) plus the ghost list in
 // commit order.
 func worldFingerprint(w *World) string {
-	names := make([]string, 0, len(w.Domains))
-	for name := range w.Domains {
-		names = append(names, name)
-	}
+	names := make([]string, 0, w.Domains.Len())
+	w.Domains.Range(func(d *Domain) { names = append(names, d.Name) })
 	sort.Strings(names)
 	var sb strings.Builder
 	for _, name := range names {
-		fmt.Fprintf(&sb, "%+v\n", *w.Domains[name])
+		fmt.Fprintf(&sb, "%+v\n", *w.Domains.Get(name))
 	}
 	for _, g := range w.Ghosts {
 		fmt.Fprintf(&sb, "ghost %+v\n", *g)
@@ -213,6 +211,64 @@ func TestWorldIdenticalAcrossBuildWorkers(t *testing.T) {
 	}
 }
 
+// TestWorldIdenticalAcrossCommitWorkers: the commit engine's
+// determinism contract — installing compiled layouts serially, on a
+// single-width pool, or on a wide pool must produce byte-identical
+// worlds (ground truth, ghost ledger order via worldFingerprint, and
+// the full event stream a run delivers), alone and stacked with the
+// compile fan-out.
+func TestWorldIdenticalAcrossCommitWorkers(t *testing.T) {
+	base := tinyConfig(11)
+	fingerprint := func(buildWorkers, commitWorkers int) (string, string) {
+		cfg := base
+		cfg.BuildWorkers = buildWorkers
+		cfg.CommitWorkers = commitWorkers
+		w := New(cfg)
+		fp := worldFingerprint(w)
+		w.Stop()
+		evs := RecordedEvents(cfg)
+		var sb strings.Builder
+		for _, ev := range evs {
+			fmt.Fprintf(&sb, "%+v\n", ev)
+		}
+		return fp, sb.String()
+	}
+	serialWorld, serialEvents := fingerprint(0, 0)
+	for _, workers := range [][2]int{{0, 1}, {0, 8}, {8, 8}} {
+		world, events := fingerprint(workers[0], workers[1])
+		if world != serialWorld {
+			t.Errorf("BuildWorkers=%d CommitWorkers=%d ground truth diverges from serial",
+				workers[0], workers[1])
+		}
+		if events != serialEvents {
+			t.Errorf("BuildWorkers=%d CommitWorkers=%d event stream diverges from serial",
+				workers[0], workers[1])
+		}
+	}
+}
+
+// TestChunkedCommitIdentical: at a scale where plans split into multiple
+// compile chunks (so the commit engine sees many layouts per plan), the
+// built ground truth must stay byte-identical across commit widths.
+func TestChunkedCommitIdentical(t *testing.T) {
+	base := DefaultConfig(19, 0.01)
+	base.Weeks = 2
+	base.BuildWorkers = 4
+	build := func(workers int) string {
+		cfg := base
+		cfg.CommitWorkers = workers
+		w := New(cfg)
+		defer w.Stop()
+		return worldFingerprint(w)
+	}
+	serial := build(0)
+	for _, workers := range []int{1, 8} {
+		if build(workers) != serial {
+			t.Errorf("CommitWorkers=%d chunked ground truth diverges from serial", workers)
+		}
+	}
+}
+
 // TestDomainNamesUniqueWorldwide: collision checks are per-TLD-chunk
 // now (names embed their TLD; chunks stamp a discriminator), so this
 // regression test pins the invariant that generated names —
@@ -222,18 +278,17 @@ func TestDomainNamesUniqueWorldwide(t *testing.T) {
 	cfg := DefaultConfig(13, 0.01)
 	cfg.Weeks = 2
 	cfg.BuildWorkers = 4
+	cfg.CommitWorkers = 4
 	if k := planChunks(&cfg, PaperPlans()[0]); k < 2 {
 		t.Fatalf("com plan compiles in %d chunk(s); test needs a multi-chunk scale", k)
 	}
 	w := New(cfg)
 	defer w.Stop()
-	if w.dupNames != 0 {
-		t.Fatalf("%d duplicate names across layouts", w.dupNames)
+	if n := w.dupNames.Load(); n != 0 {
+		t.Fatalf("%d duplicate names across layouts", n)
 	}
-	seen := make(map[string]bool, len(w.Domains)+len(w.Ghosts))
-	for name := range w.Domains {
-		seen[name] = true
-	}
+	seen := make(map[string]bool, w.Domains.Len()+len(w.Ghosts))
+	w.Domains.Range(func(d *Domain) { seen[d.Name] = true })
 	for _, g := range w.Ghosts {
 		if seen[g.Name] {
 			t.Errorf("ghost name %s collides with another generated name", g.Name)
