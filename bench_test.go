@@ -15,6 +15,7 @@ import (
 	"net/netip"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -513,6 +514,81 @@ func BenchmarkFleetRoundCoalesced(b *testing.B) {
 	if probes > 0 {
 		b.ReportMetric(float64(clk.Stats().Scheduled)/float64(probes), "events/probe")
 	}
+}
+
+// benchProbeBackend answers every probe with a fixed delegation after a
+// small slab of CPU work per domain (wire pack/unpack and answer
+// parsing in a network deployment), so the ProbeBatch pair exposes
+// batch-slice scaling rather than map-lookup noise.
+type benchProbeBackend struct{ sink atomic.Uint64 }
+
+func (p *benchProbeBackend) work(domain string) {
+	h := dnsname.Hash64(domain)
+	for i := 0; i < 2048; i++ {
+		h = (h ^ uint64(i)) * 0x100000001b3
+	}
+	if h == 0 {
+		p.sink.Add(1) // never taken; defeats dead-code elimination
+	}
+}
+
+func (p *benchProbeBackend) AuthoritativeNS(domain string) ([]string, bool) {
+	p.work(domain)
+	return []string{"ns1.bench.net"}, true
+}
+func (p *benchProbeBackend) LookupA(string) []netip.Addr    { return nil }
+func (p *benchProbeBackend) LookupAAAA(string) []netip.Addr { return nil }
+
+func (p *benchProbeBackend) ProbeBatch(domains []string, mail bool) []measure.ProbeResult {
+	out := make([]measure.ProbeResult, len(domains))
+	for i, d := range domains {
+		out[i].NS, out[i].InZone = p.AuthoritativeNS(d)
+	}
+	return out
+}
+
+// benchProbeBatch measures the probe engine through full fleet rounds:
+// 512 watched domains, one op = one probe executed, with the probes/s
+// metric the BENCH_ci.json acceptance comparison tracks. probeWorkers
+// selects the engine mode — 0 is the per-domain serial baseline, ≥1
+// partitions each round into that many batch slices (DESIGN.md §10).
+func benchProbeBatch(b *testing.B, probeWorkers int) {
+	clk := simclock.NewSim(time.Date(2023, 11, 1, 0, 0, 0, 0, time.UTC))
+	cfg := measure.DefaultConfig()
+	cfg.ProbeWorkers = probeWorkers
+	fleet := measure.NewFleet(cfg, clk, &benchProbeBackend{})
+	var probes int64
+	fleet.OnObservation(func(measure.Observation) { probes++ })
+	const domains = 512
+	for i := 0; i < domains; i++ {
+		fleet.Watch(benchName(i) + ".shop")
+	}
+	b.ResetTimer()
+	gen := 0
+	for probes < int64(b.N) {
+		if clk.Pending() == 0 {
+			gen++
+			for i := 0; i < domains; i++ {
+				fleet.Watch(fmt.Sprintf("g%d-%s.shop", gen, benchName(i)))
+			}
+		}
+		clk.Advance(10 * time.Minute)
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(probes)/secs, "probes/s")
+	}
+}
+
+// BenchmarkProbeBatchSerial is the probe engine's baseline: per-domain
+// backend calls on the fleet pool, no batching.
+func BenchmarkProbeBatchSerial(b *testing.B) { benchProbeBatch(b, 0) }
+
+// BenchmarkProbeBatchParallel submits each round as machine-width batch
+// slices through the BatchBackend path; against BenchmarkProbeBatchSerial
+// the probes/s pair tracks the sixth engine's trajectory in BENCH_ci.json.
+func BenchmarkProbeBatchParallel(b *testing.B) {
+	benchProbeBatch(b, runtime.GOMAXPROCS(0))
 }
 
 func benchName(i int) string {

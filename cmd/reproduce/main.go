@@ -31,17 +31,20 @@ func main() {
 	clockWorkers := flag.Int("clock-workers", 0, "event engine drain mode: 0 = serial event loop, ≥1 = batch-fire same-timestamp events through this worker pool width (byte-identical output either way)")
 	buildWorkers := flag.Int("build-workers", 0, "world builder compile mode: 0 = serial layout, ≥1 = compile per-TLD layouts on this worker pool width (byte-identical output either way)")
 	commitWorkers := flag.Int("commit-workers", 0, "world builder commit mode: 0 = serial install, ≥1 = commit compiled layouts on this worker pool width (byte-identical output either way)")
+	probeWorkers := flag.Int("probe-workers", 0, "fleet probe mode: 0 = per-domain calls, ≥1 = submit each round as this many probe batches through the shared exchange layer (byte-identical output either way)")
+	probeCadence := flag.Duration("probe-cadence", 0, "fleet revalidation cadence decoupled from TTL (0 = default 10m interval)")
 	exp := flag.String("exp", "all", "experiment to run (table1..table5, figure1, figure2, nsstability, rdapfail, blocklists, nod, cctld, rzu, mail, all)")
 	csvDir := flag.String("csv", "", "directory to write figure CSVs for external plotting")
 	flag.Parse()
 
-	fmt.Fprintf(os.Stderr, "building world (scale=%g, weeks=%d, seed=%d, build-workers=%d, commit-workers=%d, ingest-workers=%d, rdap-workers=%d, clock-workers=%d)…\n",
-		*scale, *weeks, *seed, *buildWorkers, *commitWorkers, *ingestWorkers, *rdapWorkers, *clockWorkers)
+	fmt.Fprintf(os.Stderr, "building world (scale=%g, weeks=%d, seed=%d, build-workers=%d, commit-workers=%d, ingest-workers=%d, rdap-workers=%d, clock-workers=%d, probe-workers=%d)…\n",
+		*scale, *weeks, *seed, *buildWorkers, *commitWorkers, *ingestWorkers, *rdapWorkers, *clockWorkers, *probeWorkers)
 	start := time.Now()
 	res := analysis.Run(analysis.RunConfig{
 		Seed: *seed, Scale: *scale, Weeks: *weeks, WatchSampleRate: *watch, ProbeMail: true,
 		IngestWorkers: *ingestWorkers, RDAPWorkers: *rdapWorkers, ClockWorkers: *clockWorkers,
 		BuildWorkers: *buildWorkers, CommitWorkers: *commitWorkers,
+		ProbeWorkers: *probeWorkers, ProbeCadence: *probeCadence,
 	})
 	fmt.Fprintf(os.Stderr, "simulation complete in %v: %d candidates, %d transient lower bound\n",
 		time.Since(start).Round(time.Millisecond), res.Pipeline.Len(), len(res.Report.LowerBound))

@@ -177,6 +177,46 @@ func TestSerialParallelCommitCampaignsIdentical(t *testing.T) {
 	}
 }
 
+// TestSerialParallelProbeCampaignsIdentical: the same byte-identity
+// must hold for the probe engine — per-domain backend calls
+// (ProbeWorkers=0), one batch per round (ProbeWorkers=1), and eight
+// contiguous batch slices (ProbeWorkers=8), alone and stacked with all
+// five existing engines. Batch results are positional and the apply
+// stage delivers observations serially in admission order, so probe
+// width is unobservable to a campaign.
+func TestSerialParallelProbeCampaignsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full campaigns")
+	}
+	base := RunConfig{Seed: 59, Scale: 0.0008, Weeks: 2, WatchSampleRate: 1.0, ProbeMail: true}
+	render := func(cfg RunConfig) []byte {
+		r := Run(cfg)
+		var buf bytes.Buffer
+		if err := WriteReport(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(base)
+	for _, cfg := range []RunConfig{
+		{ProbeWorkers: 1},
+		{ProbeWorkers: 8},
+		{ProbeWorkers: 8, CommitWorkers: 8, BuildWorkers: 8, ClockWorkers: 8, RDAPWorkers: 8, IngestWorkers: 8},
+	} {
+		run := base
+		run.ProbeWorkers = cfg.ProbeWorkers
+		run.CommitWorkers = cfg.CommitWorkers
+		run.BuildWorkers = cfg.BuildWorkers
+		run.ClockWorkers = cfg.ClockWorkers
+		run.RDAPWorkers = cfg.RDAPWorkers
+		run.IngestWorkers = cfg.IngestWorkers
+		if got := render(run); !bytes.Equal(serial, got) {
+			t.Errorf("probe-workers=%d (stacked=%v) report diverges from serial",
+				cfg.ProbeWorkers, cfg.IngestWorkers > 0)
+		}
+	}
+}
+
 // TestSerialBatchedClockCampaignsIdentical: the same byte-identity must
 // hold for the event engine's drain mode — the serial heap-order drain
 // (ClockWorkers=0), batch-firing with a single-width pool

@@ -70,6 +70,18 @@ type RunConfig struct {
 	// stay serial in canonical order. Worlds — and therefore campaign
 	// reports — are byte-identical across widths.
 	CommitWorkers int
+	// ProbeWorkers selects the measurement fleet's probe mode: 0 issues
+	// per-domain backend calls on the fleet's pool (the serial path), ≥1
+	// partitions each round into that many contiguous slices and submits
+	// each as one batch through the probe engine's shared exchange layer.
+	// Observation streams — and therefore campaign reports — are
+	// byte-identical across widths (results are positional and the apply
+	// stage stays serial in admission order).
+	ProbeWorkers int
+	// ProbeCadence decouples the fleet's revalidation interval from the
+	// default 10-minute round, per Afek & Litmanovich's TTL-decoupled
+	// revalidation. Zero keeps the default cadence.
+	ProbeCadence time.Duration
 }
 
 // DefaultRunConfig is sized for test and example runs: ≈1/500 of paper
@@ -98,6 +110,10 @@ func Run(cfg RunConfig) *Results {
 	fleetCfg := measure.DefaultConfig()
 	fleetCfg.StopWhenDead = true
 	fleetCfg.ProbeMail = cfg.ProbeMail
+	fleetCfg.ProbeWorkers = cfg.ProbeWorkers
+	if cfg.ProbeCadence > 0 {
+		fleetCfg.Revalidate.Cadence = cfg.ProbeCadence
+	}
 	fleet := measure.NewFleet(fleetCfg, w.Clock, w.ProbeBackend())
 	bus := stream.NewBus()
 	if cfg.IngestWorkers > 0 {

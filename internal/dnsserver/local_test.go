@@ -1,0 +1,100 @@
+package dnsserver
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"darkdns/internal/dnsmsg"
+	"darkdns/internal/registry"
+	"darkdns/internal/resolver"
+	"darkdns/internal/simclock"
+)
+
+// TestLocalExchangerBatchOverHandlers: the socketless probe path — the
+// resolver's batch API over LocalExchanger-adapted authoritative
+// handlers — must answer exactly like the wire path: NS referrals from
+// the TLD zone, A/AAAA from hosting, NXDOMAIN negatively cached, all in
+// one pipelined batch.
+func TestLocalExchangerBatchOverHandlers(t *testing.T) {
+	clk := simclock.NewSim(t0)
+	reg := registry.New(registry.DefaultConfig("com"), clk, rand.New(rand.NewSource(1)))
+	defer reg.Stop()
+	reg.Register("example.com", "R", []string{"ns1.cloudflare.com", "ns2.cloudflare.com"}, netip.Addr{})
+	clk.Advance(time.Minute)
+
+	hosting := NewHostingHandler(300)
+	hosting.Set("example.com", netip.MustParseAddr("104.16.1.1"), netip.MustParseAddr("2606:4700::1"))
+
+	tldRes := resolver.New(resolver.Config{}, clk, &resolver.LocalExchanger{H: &TLDHandler{Registry: reg}, Workers: 4}, nil)
+	hostRes := resolver.New(resolver.Config{}, clk, &resolver.LocalExchanger{H: hosting, Workers: 4}, nil)
+
+	res := tldRes.LookupBatch(context.Background(), []resolver.Query{
+		{Name: "example.com", Type: dnsmsg.TypeNS},
+		{Name: "missing.com", Type: dnsmsg.TypeNS},
+	})
+	if res[0].Err != nil || len(res[0].Records) != 2 {
+		t.Fatalf("NS batch slot: %v %v", res[0].Records, res[0].Err)
+	}
+	if !errors.Is(res[1].Err, resolver.ErrNXDomain) {
+		t.Fatalf("missing delegation: %v", res[1].Err)
+	}
+
+	v4, v6, err := hostRes.LookupAddrs(context.Background(), "example.com")
+	if err != nil || len(v4) != 1 || len(v6) != 1 {
+		t.Fatalf("LookupAddrs over local handler: %v %v %v", v4, v6, err)
+	}
+	if v4[0].A.String() != "104.16.1.1" || v6[0].AAAA.String() != "2606:4700::1" {
+		t.Errorf("addresses: %v %v", v4[0].A, v6[0].AAAA)
+	}
+
+	// Takedown propagates after the cached answer's clamp expires —
+	// exactly the wire path's behaviour in TestResolverCachingAgainstLiveServer.
+	hosting.Remove("example.com")
+	if v4, _, _ = hostRes.LookupAddrs(context.Background(), "example.com"); len(v4) != 1 {
+		t.Error("cached answer must survive the takedown until expiry")
+	}
+	clk.Advance(61 * time.Second)
+	if _, _, err = hostRes.LookupAddrs(context.Background(), "example.com"); !errors.Is(err, resolver.ErrNXDomain) {
+		t.Errorf("post-expiry probe: %v", err)
+	}
+}
+
+// TestLocalExchangerLanesOverHandlers: the full exchange stack — rate
+// lanes over the in-process adapter — carries a batch with per-TLD
+// admission, shedding the overflow with ErrRateLimited.
+func TestLocalExchangerLanesOverHandlers(t *testing.T) {
+	clk := simclock.NewSim(t0)
+	reg := registry.New(registry.DefaultConfig("com"), clk, rand.New(rand.NewSource(1)))
+	defer reg.Stop()
+	reg.Register("example.com", "R", []string{"ns1.cloudflare.com"}, netip.Addr{})
+	clk.Advance(time.Minute)
+
+	lanes := resolver.NewLanes(resolver.LaneConfig{MaxInflight: 2},
+		&resolver.LocalExchanger{H: &TLDHandler{Registry: reg}}, nil)
+	r := resolver.New(resolver.Config{}, clk, lanes, nil)
+
+	qs := make([]resolver.Query, 5)
+	for i := range qs {
+		qs[i] = resolver.Query{Name: "d" + string(rune('a'+i)) + ".com", Type: dnsmsg.TypeNS}
+	}
+	var answered, shed int
+	for _, res := range r.LookupBatch(context.Background(), qs) {
+		switch {
+		case errors.Is(res.Err, resolver.ErrRateLimited):
+			shed++
+		case errors.Is(res.Err, resolver.ErrNXDomain): // undelegated names
+			answered++
+		case res.Err == nil:
+			answered++
+		default:
+			t.Errorf("unexpected error: %v", res.Err)
+		}
+	}
+	if answered != 2 || shed != 3 {
+		t.Errorf("answered %d / shed %d over a 2-slot lane, want 2 / 3", answered, shed)
+	}
+}

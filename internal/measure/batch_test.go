@@ -1,0 +1,140 @@
+package measure
+
+import (
+	"fmt"
+	"net/netip"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"darkdns/internal/simclock"
+	"darkdns/internal/workpool"
+)
+
+// fakeBatchBackend layers BatchBackend over the scripted fakeBackend and
+// counts batch shapes so tests can prove the batch path actually ran.
+type fakeBatchBackend struct {
+	*fakeBackend
+	batches  atomic.Int64
+	maxBatch atomic.Int64
+}
+
+func (b *fakeBatchBackend) ProbeBatch(domains []string, mail bool) []ProbeResult {
+	b.batches.Add(1)
+	workpool.AtomicMax(&b.maxBatch, int64(len(domains)))
+	out := make([]ProbeResult, len(domains))
+	for i, d := range domains {
+		pr := &out[i]
+		pr.NS, pr.InZone = b.AuthoritativeNS(d)
+		if pr.InZone {
+			pr.V4 = b.LookupA(d)
+			pr.V6 = b.LookupAAAA(d)
+		}
+	}
+	return out
+}
+
+// TestBatchedRoundsDeterministicAcrossProbeWidths: the probe engine's
+// half of the campaign determinism contract — a fixed schedule delivers
+// byte-identical observation streams whether rounds probe per-domain
+// (ProbeWorkers=0), as one batch (1), or as eight batch slices (8), and
+// whichever clock drain mode runs them.
+func TestBatchedRoundsDeterministicAcrossProbeWidths(t *testing.T) {
+	type runMode struct {
+		name    string
+		workers int
+		drain   func(*simclock.Sim)
+	}
+	advance := func(s *simclock.Sim) { s.Advance(49 * time.Hour) }
+	modes := []runMode{
+		{"per-domain", 0, advance},
+		{"batch-w1", 1, advance},
+		{"batch-w8", 8, advance},
+		{"batch-w8-clock", 8, func(s *simclock.Sim) { s.RunUntilBatched(t0.Add(49*time.Hour), 8) }},
+	}
+	logs := make(map[string][]string)
+	for _, m := range modes {
+		b := &fakeBatchBackend{fakeBackend: newFakeBackend()}
+		clk := simclock.NewSim(t0)
+		cfg := DefaultConfig()
+		cfg.ProbeWorkers = m.workers
+		f := NewFleet(cfg, clk, b)
+		var log []string
+		f.OnObservation(func(o Observation) {
+			log = append(log, fmt.Sprintf("%s|%s|%d|%v|%v|%v", o.At.Format(time.RFC3339), o.Domain, o.Worker, o.InZone, o.NS, o.V4))
+		})
+		for i := 0; i < 40; i++ {
+			d := domainN(i)
+			b.set(d, []string{"ns1.a.net"}, netip.MustParseAddr("192.0.2.1"))
+			f.Watch(d)
+		}
+		clk.Advance(2 * time.Hour)
+		for i := 0; i < 40; i += 3 {
+			b.set(domainN(i), nil) // takedown wave
+		}
+		m.drain(clk)
+		logs[m.name] = log
+		if m.workers > 0 && b.batches.Load() == 0 {
+			t.Errorf("%s: batch path never ran", m.name)
+		}
+		if m.workers == 0 && b.batches.Load() != 0 {
+			t.Errorf("%s: serial mode must not call ProbeBatch", m.name)
+		}
+	}
+	want := logs[modes[0].name]
+	if len(want) == 0 {
+		t.Fatal("no observations")
+	}
+	for _, m := range modes[1:] {
+		if !reflect.DeepEqual(want, logs[m.name]) {
+			t.Errorf("%s observation stream diverges from %s (%d vs %d)",
+				m.name, modes[0].name, len(logs[m.name]), len(want))
+		}
+	}
+}
+
+// TestBatchSlicesPartitionRound: a 40-domain round at width 8 must
+// arrive as 8 batches of 5 — contiguous admission-order slices, not one
+// call per domain.
+func TestBatchSlicesPartitionRound(t *testing.T) {
+	b := &fakeBatchBackend{fakeBackend: newFakeBackend()}
+	clk := simclock.NewSim(t0)
+	cfg := DefaultConfig()
+	cfg.ProbeWorkers = 8
+	f := NewFleet(cfg, clk, b)
+	for i := 0; i < 40; i++ {
+		d := domainN(i)
+		b.set(d, []string{"ns1.a.net"})
+		f.Watch(d)
+	}
+	base := b.batches.Load() // 40 single-target admission probes
+	clk.Advance(cfg.Interval + time.Second)
+	if f.Report().Rounds == 0 {
+		t.Fatal("no rounds ran")
+	}
+	if got := b.batches.Load() - base; got != 8 {
+		t.Errorf("full round made %d ProbeBatch calls, want 8 slices", got)
+	}
+	if mx := b.maxBatch.Load(); mx != 5 {
+		t.Errorf("max batch = %d, want 5 (40 domains over 8 slices)", mx)
+	}
+}
+
+// TestRevalidateCadenceOverridesInterval: the Afek & Litmanovich knob —
+// a RevalidatePolicy cadence replaces the default 10-minute interval, so
+// an hour books 1 immediate + 12 five-minute probes instead of 7.
+func TestRevalidateCadenceOverridesInterval(t *testing.T) {
+	b := newFakeBackend()
+	b.set("x.com", []string{"ns1.a.net"})
+	clk := simclock.NewSim(t0)
+	cfg := DefaultConfig()
+	cfg.Revalidate = RevalidatePolicy{Cadence: 5 * time.Minute}
+	f := NewFleet(cfg, clk, b)
+	f.Watch("x.com")
+	clk.Advance(time.Hour)
+	st, ok := f.State("x.com")
+	if !ok || st.Probes != 13 {
+		t.Errorf("probes = %d under 5 m cadence, want 13", st.Probes)
+	}
+}

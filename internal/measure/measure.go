@@ -49,6 +49,27 @@ type Backend interface {
 	LookupAAAA(domain string) []netip.Addr
 }
 
+// ProbeResult is one domain's answers within a probe batch.
+type ProbeResult struct {
+	InZone bool
+	NS     []string
+	V4, V6 []netip.Addr
+	// MX and TXT are filled only when the batch asked for mail records.
+	MX, TXT []string
+}
+
+// BatchBackend is the optional Backend extension the batched probe
+// engine prefers: one call resolves a whole slice of domains, so the
+// backend can pipeline the underlying queries (resolver.LookupBatch
+// over pooled sockets on the wire, plain reads in the simulation)
+// instead of paying per-domain call overhead. mail asks for MX/TXT
+// answers alongside the DNS-infrastructure records. Results are
+// positional. Probes are reads: implementations must be side-effect-
+// free so batch boundaries stay unobservable.
+type BatchBackend interface {
+	ProbeBatch(domains []string, mail bool) []ProbeResult
+}
+
 // MailBackend is the optional extension backend for the paper's
 // future-work measurements ("we plan to expand our measurements beyond
 // DNS infrastructure records, including mail extensions (e.g., SPF, MX)").
@@ -92,11 +113,34 @@ type DomainState struct {
 	worker int // fleet worker assigned to this domain's probes
 }
 
+// RevalidatePolicy decouples probe cadence from record TTL, after Afek
+// & Litmanovich's TTL-decoupled revalidation: instead of hardcoding the
+// paper's 10-minute round, the cadence is an operator knob — a shorter
+// cadence trades probe volume for detection latency, a longer one the
+// reverse — while the 60-second resolver TTL clamp stays fixed, so
+// cache freshness and probe schedule are independent policies.
+type RevalidatePolicy struct {
+	// Cadence is the coalesced round interval. 0 keeps Config.Interval
+	// (the paper's 10 minutes by default).
+	Cadence time.Duration
+}
+
 // Config parameterizes the fleet.
 type Config struct {
 	Workers  int           // paper: 16
 	Interval time.Duration // paper: 10 minutes
 	Window   time.Duration // paper: 48 hours
+	// ProbeWorkers selects the probe engine's batch mode: 0 probes each
+	// due domain with per-domain backend calls on the legacy pool (the
+	// serial baseline), ≥1 partitions each round's watch set into this
+	// many contiguous slices and submits every slice as one ProbeBatch
+	// call when the backend supports it. Slices are admission-ordered
+	// and results positional, so fleet output is byte-identical at any
+	// width (the probe-engine determinism contract).
+	ProbeWorkers int
+	// Revalidate is the probe-cadence policy; its Cadence, when set,
+	// overrides Interval.
+	Revalidate RevalidatePolicy
 	// StopWhenDead ends a domain's schedule at its first post-life
 	// NXDOMAIN instead of completing the 48-hour window. Post-death
 	// probes carry no analytical signal, so large-scale simulation runs
@@ -170,6 +214,9 @@ func NewFleet(cfg Config, clk simclock.Clock, backend Backend) *Fleet {
 	}
 	if cfg.Interval <= 0 {
 		cfg.Interval = 10 * time.Minute
+	}
+	if cfg.Revalidate.Cadence > 0 {
+		cfg.Interval = cfg.Revalidate.Cadence
 	}
 	if cfg.Window <= 0 {
 		cfg.Window = 48 * time.Hour
@@ -302,12 +349,15 @@ type roundResult struct {
 }
 
 // probeRound executes one coalesced measurement round. Stage 1 resolves
-// the whole batch concurrently on the fleet's worker pool — backend
-// reads are side-effect-free, so execution order is unobservable.
-// Stage 2 applies state updates and delivers observations serially in
-// watch-admission order, the order the per-domain scheduler produced;
-// pool width therefore never reorders an observable, and campaigns stay
-// byte-identical across serial and batched clock drains.
+// the whole batch concurrently — per-domain backend calls on the fleet's
+// worker pool in the serial baseline, or (ProbeWorkers ≥ 1 against a
+// BatchBackend) one ProbeBatch call per worker slice so the transport
+// pipelines a whole sub-batch of queries at once. Backend reads are
+// side-effect-free, so execution order is unobservable. Stage 2 applies
+// state updates and delivers observations serially in watch-admission
+// order, the order the per-domain scheduler produced; probe width
+// therefore never reorders an observable, and campaigns stay
+// byte-identical across serial and batched probe modes and clock drains.
 func (f *Fleet) probeRound(targets []*DomainState) {
 	if len(targets) == 0 {
 		return
@@ -316,23 +366,27 @@ func (f *Fleet) probeRound(targets []*DomainState) {
 	results := make([]roundResult, len(targets))
 	mb, hasMail := f.backend.(MailBackend)
 	probeMail := f.cfg.ProbeMail && hasMail
-	workpool.Run(len(targets), f.cfg.Workers, func(i int) {
-		st := targets[i]
-		obs := Observation{Domain: st.Domain, Worker: st.worker, At: now}
-		ns, inZone := f.backend.AuthoritativeNS(st.Domain)
-		obs.InZone = inZone
-		if inZone {
-			obs.NS = append([]string(nil), ns...)
-			sort.Strings(obs.NS)
-			obs.V4 = f.backend.LookupA(st.Domain)
-			obs.V6 = f.backend.LookupAAAA(st.Domain)
-			if probeMail {
-				results[i].mx = mb.LookupMX(st.Domain)
-				results[i].txt = mb.LookupTXT(st.Domain)
+	if bb, ok := f.backend.(BatchBackend); ok && f.cfg.ProbeWorkers > 0 {
+		f.probeBatched(bb, targets, results, now, probeMail)
+	} else {
+		workpool.Run(len(targets), f.cfg.Workers, func(i int) {
+			st := targets[i]
+			obs := Observation{Domain: st.Domain, Worker: st.worker, At: now}
+			ns, inZone := f.backend.AuthoritativeNS(st.Domain)
+			obs.InZone = inZone
+			if inZone {
+				obs.NS = append([]string(nil), ns...)
+				sort.Strings(obs.NS)
+				obs.V4 = f.backend.LookupA(st.Domain)
+				obs.V6 = f.backend.LookupAAAA(st.Domain)
+				if probeMail {
+					results[i].mx = mb.LookupMX(st.Domain)
+					results[i].txt = mb.LookupTXT(st.Domain)
+				}
 			}
-		}
-		results[i].obs = obs
-	})
+			results[i].obs = obs
+		})
+	}
 
 	obsFns := f.observers.Load()
 	for i, st := range targets {
@@ -343,6 +397,49 @@ func (f *Fleet) probeRound(targets []*DomainState) {
 			}
 		}
 	}
+}
+
+// probeBatched is stage 1 of a round in batch mode: the target list is
+// partitioned into ProbeWorkers contiguous slices (admission order
+// preserved inside each slice) and each worker submits its whole slice
+// as one ProbeBatch call, letting the backend pipeline every query in
+// the sub-batch over shared transport. Results are positional, so slot
+// i of the batch lands in results[lo+i] — the exact cell the serial
+// path would have filled — and mail fields are copied only when the
+// probe is in-zone, mirroring the serial path so a backend that answers
+// MX/TXT for out-of-zone names cannot diverge the campaign.
+func (f *Fleet) probeBatched(bb BatchBackend, targets []*DomainState, results []roundResult, now time.Time, probeMail bool) {
+	w := f.cfg.ProbeWorkers
+	if w > len(targets) {
+		w = len(targets)
+	}
+	bounds := make([]int, w+1)
+	for i := 0; i <= w; i++ {
+		bounds[i] = i * len(targets) / w
+	}
+	workpool.Run(w, w, func(s int) {
+		lo, hi := bounds[s], bounds[s+1]
+		names := make([]string, hi-lo)
+		for j := range names {
+			names[j] = targets[lo+j].Domain
+		}
+		for j, pr := range bb.ProbeBatch(names, probeMail) {
+			i := lo + j
+			st := targets[i]
+			obs := Observation{Domain: st.Domain, Worker: st.worker, At: now, InZone: pr.InZone}
+			if pr.InZone {
+				obs.NS = append([]string(nil), pr.NS...)
+				sort.Strings(obs.NS)
+				obs.V4 = pr.V4
+				obs.V6 = pr.V6
+				if probeMail {
+					results[i].mx = pr.MX
+					results[i].txt = pr.TXT
+				}
+			}
+			results[i].obs = obs
+		}
+	})
 }
 
 // apply records one resolved probe into the domain's aggregate state.

@@ -1,0 +1,536 @@
+// Exchange layer of the probe engine (DESIGN.md §10): pooled UDP
+// sockets with pipelined outstanding queries, per-nameserver rate
+// lanes, and an in-process adapter over dnsserver handlers — the three
+// transports behind the resolver's batch API. The shape follows ZDNS:
+// a small pool of long-lived sockets shared by every worker, responses
+// demultiplexed to waiters by transaction ID, so probe throughput is
+// bounded by the wire, not by per-query socket setup.
+package resolver
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"darkdns/internal/dnsmsg"
+	"darkdns/internal/dnsname"
+	"darkdns/internal/simclock"
+	"darkdns/internal/workpool"
+)
+
+// UDPExchanger sends queries over a pool of reused UDP sockets. Each
+// socket runs one reader goroutine that demultiplexes response
+// datagrams to waiting exchanges by transaction ID, so many queries
+// pipeline over few sockets (the ZDNS socket-pool shape) instead of
+// paying a dial/close per query. Retries re-derive the transaction ID
+// per attempt (AttemptID), and per-attempt timeouts are armed on Clock
+// — simclock.Real for wire deployments, a Sim for deterministic tests.
+type UDPExchanger struct {
+	Addr    string         // server address, e.g. "127.0.0.1:5353"
+	Timeout time.Duration  // per-attempt timeout (default 2 s)
+	Retries int            // additional attempts after the first
+	Conns   int            // socket pool size (default 4)
+	Clock   simclock.Clock // timeout scheduling; nil = simclock.Real{}
+
+	mu     sync.Mutex
+	pool   []*udpConn
+	next   int // round-robin cursor over the pool
+	closed bool
+}
+
+// udpConn is one pooled socket plus its demultiplexer state.
+type udpConn struct {
+	conn net.Conn
+
+	mu      sync.Mutex
+	pending map[uint16]chan *dnsmsg.Message // transaction ID → waiter
+	dead    bool
+	readErr error
+
+	malformed atomic.Int64 // unparseable datagrams seen by the reader
+}
+
+func (u *UDPExchanger) timeout() time.Duration {
+	if u.Timeout <= 0 {
+		return 2 * time.Second
+	}
+	return u.Timeout
+}
+
+func (u *UDPExchanger) clock() simclock.Clock {
+	if u.Clock == nil {
+		return simclock.Real{}
+	}
+	return u.Clock
+}
+
+// Close shuts the socket pool down; pending exchanges fail with
+// ErrDial. The exchanger is unusable afterwards.
+func (u *UDPExchanger) Close() error {
+	u.mu.Lock()
+	pool := u.pool
+	u.pool, u.closed = nil, true
+	u.mu.Unlock()
+	var err error
+	for _, c := range pool {
+		if cerr := c.conn.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// lease picks a pooled socket on which id is free, dialing lazily and
+// replacing dead sockets. When every pooled socket already has id
+// outstanding (a 1-in-65536 collision per conn), it dials a one-shot
+// socket; release then closes it instead of pooling.
+func (u *UDPExchanger) lease(id uint16) (c *udpConn, release func(), err error) {
+	size := u.Conns
+	if size <= 0 {
+		size = 4
+	}
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: exchanger closed", ErrDial)
+	}
+	for tries := 0; tries < size; tries++ {
+		i := u.next % size
+		u.next++
+		if i < len(u.pool) && u.pool[i] != nil && !u.pool[i].isDead() {
+			if u.pool[i].idFree(id) {
+				c = u.pool[i]
+				break
+			}
+			continue // collision: probe the next pool slot
+		}
+		// Empty or dead slot: dial a replacement while holding the pool
+		// lock (rare; only on first use and after socket errors).
+		nc, derr := u.dial()
+		if derr != nil {
+			u.mu.Unlock()
+			return nil, nil, derr
+		}
+		for i >= len(u.pool) {
+			u.pool = append(u.pool, nil)
+		}
+		u.pool[i] = nc
+		c = nc
+		break
+	}
+	u.mu.Unlock()
+	if c != nil {
+		return c, func() {}, nil
+	}
+	// All pooled sockets collide on id: one-shot socket.
+	nc, derr := u.dial()
+	if derr != nil {
+		return nil, nil, derr
+	}
+	return nc, func() { nc.conn.Close() }, nil
+}
+
+// dial opens one socket and starts its reader.
+func (u *UDPExchanger) dial() (*udpConn, error) {
+	conn, err := net.Dial("udp", u.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDial, err)
+	}
+	c := &udpConn{conn: conn, pending: make(map[uint16]chan *dnsmsg.Message)}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop demultiplexes response datagrams to waiters by transaction
+// ID. Unparseable datagrams are counted (the ErrBadResponse signal) and
+// dropped; responses nobody is waiting for (late answers to retried
+// attempts, spoofs with the wrong ID) are dropped. A read error kills
+// the socket and fails every waiter.
+func (c *udpConn) readLoop() {
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			c.mu.Lock()
+			c.dead, c.readErr = true, err
+			pending := c.pending
+			c.pending = make(map[uint16]chan *dnsmsg.Message)
+			c.mu.Unlock()
+			for _, ch := range pending {
+				close(ch)
+			}
+			return
+		}
+		resp, err := dnsmsg.Unpack(buf[:n])
+		if err != nil {
+			c.malformed.Add(1)
+			continue
+		}
+		if !resp.Header.Response {
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.Header.ID]
+		if ok {
+			delete(c.pending, resp.Header.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- resp // buffered; the reader never blocks
+		}
+	}
+}
+
+func (c *udpConn) isDead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+func (c *udpConn) idFree(id uint16) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, taken := c.pending[id]
+	return !taken
+}
+
+// register installs a waiter for id. Fails if the socket died or id is
+// already outstanding (the caller leases around collisions).
+func (c *udpConn) register(id uint16) (chan *dnsmsg.Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return nil, fmt.Errorf("%w: %v", ErrDial, c.readErr)
+	}
+	if _, taken := c.pending[id]; taken {
+		return nil, fmt.Errorf("%w: transaction id %d busy", ErrDial, id)
+	}
+	ch := make(chan *dnsmsg.Message, 1)
+	c.pending[id] = ch
+	return ch, nil
+}
+
+// unregister abandons a waiter (timeout or cancellation).
+func (c *udpConn) unregister(id uint16, ch chan *dnsmsg.Message) {
+	c.mu.Lock()
+	if cur, ok := c.pending[id]; ok && cur == ch {
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+}
+
+// Exchange implements Exchanger: up to Retries+1 attempts, each with a
+// fresh AttemptID-rotated transaction ID and its own timeout armed on
+// Clock. Failures classify distinctly — ErrDial (unreachable), wrapped
+// context errors (canceled mid-exchange), ErrBadResponse (the server
+// answered garbage all attempt), ErrTimeout (silence) — so callers'
+// retry and shedding policy can tell them apart.
+func (u *UDPExchanger) Exchange(ctx context.Context, msg *dnsmsg.Message) (*dnsmsg.Message, error) {
+	base := msg.Header.ID
+	attempts := u.Retries + 1
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("resolver: exchange canceled: %w", ctx.Err())
+		}
+		id := AttemptID(base, a)
+		msg.Header.ID = id
+		wire, err := msg.Pack()
+		msg.Header.ID = base
+		if err != nil {
+			return nil, err
+		}
+		resp, err := u.exchangeAttempt(ctx, wire, id)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+	}
+	if ctx.Err() != nil {
+		return nil, fmt.Errorf("resolver: exchange canceled: %w", ctx.Err())
+	}
+	return nil, lastErr
+}
+
+// exchangeAttempt performs one write-and-wait on a leased socket.
+func (u *UDPExchanger) exchangeAttempt(ctx context.Context, wire []byte, id uint16) (*dnsmsg.Message, error) {
+	c, release, err := u.lease(id)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	ch, err := c.register(id)
+	if err != nil {
+		return nil, err
+	}
+	defer c.unregister(id, ch)
+	badBefore := c.malformed.Load()
+	if _, err := c.conn.Write(wire); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDial, err)
+	}
+	timeoutCh := make(chan struct{}, 1)
+	u.clock().After(u.timeout(), func() { timeoutCh <- struct{}{} })
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			rerr := c.readErr
+			c.mu.Unlock()
+			return nil, fmt.Errorf("%w: %v", ErrDial, rerr)
+		}
+		return resp, nil
+	case <-timeoutCh:
+		if bad := c.malformed.Load() - badBefore; bad > 0 {
+			return nil, fmt.Errorf("%w: %d unparseable datagrams within the attempt window", ErrBadResponse, bad)
+		}
+		return nil, fmt.Errorf("%w: no response within %v", ErrTimeout, u.timeout())
+	case <-ctx.Done():
+		return nil, fmt.Errorf("resolver: exchange canceled: %w", ctx.Err())
+	}
+}
+
+// ExchangeBatch implements BatchExchanger: msgs pipeline concurrently
+// over the socket pool, each with its own retry schedule. The fan-out
+// width is the batch size — outstanding queries, not goroutine count,
+// are what the pool bounds.
+func (u *UDPExchanger) ExchangeBatch(ctx context.Context, msgs []*dnsmsg.Message) ([]*dnsmsg.Message, []error) {
+	resps := make([]*dnsmsg.Message, len(msgs))
+	errs := make([]error, len(msgs))
+	workpool.Run(len(msgs), len(msgs), func(i int) {
+		resps[i], errs[i] = u.Exchange(ctx, msgs[i])
+	})
+	return resps, errs
+}
+
+// Handler is the in-process DNS endpoint the LocalExchanger adapts —
+// dnsserver.Handler satisfies it structurally, so simulations wire the
+// probe engine straight onto their authoritative handlers without a
+// package dependency or a socket.
+type Handler interface {
+	Handle(q dnsmsg.Question) *dnsmsg.Message
+}
+
+// LocalExchanger adapts an in-process handler to the exchange
+// interface, response fix-ups matching dnsserver's wire path (ID
+// mirroring, response bit, question echo) so the resolver exercises the
+// identical code path against simulated and real servers.
+type LocalExchanger struct {
+	H Handler
+	// Workers bounds ExchangeBatch's fan-out: ≤1 serves the batch
+	// serially on the caller, ≥2 spreads it over a pool this wide
+	// (handlers must be concurrency-safe, which dnsserver requires
+	// already).
+	Workers int
+}
+
+// Exchange implements Exchanger.
+func (l *LocalExchanger) Exchange(_ context.Context, msg *dnsmsg.Message) (*dnsmsg.Message, error) {
+	resp := l.H.Handle(msg.Questions[0])
+	if resp == nil {
+		resp = msg.Reply()
+		resp.Header.RCode = dnsmsg.RCodeServFail
+		return resp, nil
+	}
+	resp.Header.ID = msg.Header.ID
+	resp.Header.Response = true
+	if len(resp.Questions) == 0 {
+		resp.Questions = msg.Questions
+	}
+	return resp, nil
+}
+
+// ExchangeBatch implements BatchExchanger on the worker pool.
+func (l *LocalExchanger) ExchangeBatch(ctx context.Context, msgs []*dnsmsg.Message) ([]*dnsmsg.Message, []error) {
+	resps := make([]*dnsmsg.Message, len(msgs))
+	errs := make([]error, len(msgs))
+	workpool.Run(len(msgs), l.Workers, func(i int) {
+		resps[i], errs[i] = l.Exchange(ctx, msgs[i])
+	})
+	return resps, errs
+}
+
+// LaneConfig bounds one nameserver's rate lane.
+type LaneConfig struct {
+	// MaxInflight caps concurrent exchanges per nameserver (default 64).
+	MaxInflight int
+	// MaxQueued caps exchanges waiting for an in-flight slot before the
+	// lane sheds with ErrRateLimited (default 128). Zero keeps the
+	// default; negative disables queueing entirely.
+	MaxQueued int
+}
+
+// lane is one nameserver's admission state.
+type lane struct {
+	slots  chan struct{} // in-flight tokens
+	queued atomic.Int64  // waiters holding neither a token nor a shed
+	shed   atomic.Int64
+	done   atomic.Int64
+}
+
+// Lanes wraps an Exchanger with per-nameserver admission control in the
+// RDAP dispatcher's idiom: each nameserver key gets a bounded lane —
+// MaxInflight concurrent exchanges plus at most MaxQueued waiters — and
+// excess load is shed synchronously with ErrRateLimited instead of
+// queueing without bound behind a slow or dead authority. The default
+// key function maps a query to its name's TLD, matching the fleet's
+// direct-to-TLD-nameserver deployment; NewLanes accepts a custom keyer
+// for resolver pools fronting many upstreams.
+type Lanes struct {
+	cfg  LaneConfig
+	next Exchanger
+	key  func(*dnsmsg.Message) string
+
+	mu    sync.Mutex
+	lanes map[string]*lane
+}
+
+// NewLanes builds the lane layer over next. key may be nil (per-TLD
+// lanes).
+func NewLanes(cfg LaneConfig, next Exchanger, key func(*dnsmsg.Message) string) *Lanes {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 64
+	}
+	if cfg.MaxQueued == 0 {
+		cfg.MaxQueued = 128
+	}
+	if key == nil {
+		key = func(m *dnsmsg.Message) string { return dnsname.TLD(m.Questions[0].Name) }
+	}
+	return &Lanes{cfg: cfg, next: next, key: key, lanes: make(map[string]*lane)}
+}
+
+func (ls *Lanes) lane(k string) *lane {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	l, ok := ls.lanes[k]
+	if !ok {
+		l = &lane{slots: make(chan struct{}, ls.cfg.MaxInflight)}
+		ls.lanes[k] = l
+	}
+	return l
+}
+
+// admit acquires an in-flight token or sheds. The returned func
+// releases the token; nil means the query was shed (err set).
+func (ls *Lanes) admit(ctx context.Context, l *lane) (func(), error) {
+	select {
+	case l.slots <- struct{}{}: // fast path: free slot, no queueing
+		return func() { <-l.slots }, nil
+	default:
+	}
+	maxQ := int64(ls.cfg.MaxQueued)
+	if maxQ < 0 {
+		maxQ = 0
+	}
+	if l.queued.Add(1) > maxQ {
+		l.queued.Add(-1)
+		l.shed.Add(1)
+		return nil, fmt.Errorf("%w: lane saturated (%d in flight, %d queued)", ErrRateLimited, ls.cfg.MaxInflight, maxQ)
+	}
+	defer l.queued.Add(-1)
+	select {
+	case l.slots <- struct{}{}:
+		return func() { <-l.slots }, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("resolver: exchange canceled: %w", ctx.Err())
+	}
+}
+
+// Exchange implements Exchanger with lane admission.
+func (ls *Lanes) Exchange(ctx context.Context, msg *dnsmsg.Message) (*dnsmsg.Message, error) {
+	l := ls.lane(ls.key(msg))
+	release, err := ls.admit(ctx, l)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	defer l.done.Add(1)
+	return ls.next.Exchange(ctx, msg)
+}
+
+// ExchangeBatch implements BatchExchanger: every message passes its
+// lane's admission individually, and the admitted remainder forwards as
+// one batch when the inner transport supports it. Batch admission never
+// queues — a batch that oversubscribes a lane holds that lane's slots
+// until the whole batch completes, so waiting intra-batch would
+// deadlock; the excess is shed synchronously with ErrRateLimited in its
+// error slot instead (exactly the dispatcher's bounded-queue posture).
+func (ls *Lanes) ExchangeBatch(ctx context.Context, msgs []*dnsmsg.Message) ([]*dnsmsg.Message, []error) {
+	resps := make([]*dnsmsg.Message, len(msgs))
+	errs := make([]error, len(msgs))
+	admitted := make([]int, 0, len(msgs))
+	for i, m := range msgs {
+		l := ls.lane(ls.key(m))
+		select {
+		case l.slots <- struct{}{}:
+			admitted = append(admitted, i)
+		default:
+			l.shed.Add(1)
+			errs[i] = fmt.Errorf("%w: lane saturated (%d in flight)", ErrRateLimited, ls.cfg.MaxInflight)
+		}
+	}
+	defer func() {
+		for _, i := range admitted {
+			l := ls.lane(ls.key(msgs[i]))
+			<-l.slots
+			l.done.Add(1)
+		}
+	}()
+	if len(admitted) == 0 {
+		return resps, errs
+	}
+	if be, ok := ls.next.(BatchExchanger); ok {
+		fwd := make([]*dnsmsg.Message, len(admitted))
+		for j, i := range admitted {
+			fwd[j] = msgs[i]
+		}
+		fresps, ferrs := be.ExchangeBatch(ctx, fwd)
+		for j, i := range admitted {
+			resps[i], errs[i] = fresps[j], ferrs[j]
+		}
+		return resps, errs
+	}
+	for _, i := range admitted {
+		resps[i], errs[i] = ls.next.Exchange(ctx, msgs[i])
+	}
+	return resps, errs
+}
+
+// LaneStat is one nameserver lane's counters.
+type LaneStat struct {
+	Server   string
+	Inflight int   // exchanges currently holding a slot
+	Queued   int64 // exchanges currently waiting for a slot
+	Done     int64 // exchanges completed through this lane
+	Shed     int64 // exchanges rejected with ErrRateLimited
+}
+
+// LaneStats snapshots every lane, sorted by server key.
+func (ls *Lanes) LaneStats() []LaneStat {
+	ls.mu.Lock()
+	keys := make([]string, 0, len(ls.lanes))
+	for k := range ls.lanes {
+		keys = append(keys, k)
+	}
+	lanes := make([]*lane, len(keys))
+	for i, k := range keys {
+		lanes[i] = ls.lanes[k]
+	}
+	ls.mu.Unlock()
+	out := make([]LaneStat, len(keys))
+	for i, k := range keys {
+		out[i] = LaneStat{
+			Server:   k,
+			Inflight: len(lanes[i].slots),
+			Queued:   lanes[i].queued.Load(),
+			Done:     lanes[i].done.Load(),
+			Shed:     lanes[i].shed.Load(),
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Server < out[j].Server })
+	return out
+}

@@ -3,6 +3,21 @@
 // (the paper runs 60 s to keep A/AAAA answers fresh), negative caching,
 // and a direct-exchange mode for talking straight to TLD authoritative
 // servers.
+//
+// The cache is the probe engine's hot shared structure (DESIGN.md §10):
+// it is striped 64 ways on dnsname.Hash64 — mirroring the pipeline's
+// candidate store and the world's DomainStore — with per-shard hit/miss
+// counters and a per-shard singleflight table, so concurrent lookups of
+// distinct names never contend and concurrent lookups of the same
+// expired name collapse to one upstream exchange. Batched lookups
+// (LookupBatch) deduplicate in-flight keys and fan cache misses out
+// through the exchange layer (exchange.go): a pooled, pipelined
+// UDPExchanger for real sockets, LocalExchanger for in-process
+// dnsserver handlers, and Lanes for per-nameserver admission control.
+//
+// Determinism: query transaction IDs are derived from (seed, name,
+// type, attempt) — no shared RNG, no lock, and the wire trace of a
+// simulated campaign is identical at any lookup concurrency.
 package resolver
 
 import (
@@ -10,17 +25,17 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"net"
 	"sync"
 	"time"
 
 	"darkdns/internal/dnsmsg"
 	"darkdns/internal/dnsname"
 	"darkdns/internal/simclock"
+	"darkdns/internal/workpool"
 )
 
 // Exchanger performs one DNS round trip. Implementations: UDPExchanger
-// (real sockets) and in-process adapters over dnsserver.Handler.
+// (real sockets) and LocalExchanger (in-process dnsserver handlers).
 type Exchanger interface {
 	Exchange(ctx context.Context, msg *dnsmsg.Message) (*dnsmsg.Message, error)
 }
@@ -33,76 +48,41 @@ func (f ExchangerFunc) Exchange(ctx context.Context, msg *dnsmsg.Message) (*dnsm
 	return f(ctx, msg)
 }
 
-// Errors returned by Lookup.
+// BatchExchanger is the optional Exchanger extension the batched probe
+// engine prefers: one call carries a whole batch of queries so the
+// transport can pipeline them over pooled sockets (UDPExchanger) or fan
+// them out on a worker pool (LocalExchanger). resps[i]/errs[i] answer
+// msgs[i]; exactly one of the pair is non-nil per slot.
+type BatchExchanger interface {
+	Exchanger
+	ExchangeBatch(ctx context.Context, msgs []*dnsmsg.Message) (resps []*dnsmsg.Message, errs []error)
+}
+
+// Errors returned by Lookup and the exchange layer.
 var (
 	ErrNXDomain = errors.New("resolver: name does not exist")
 	ErrServFail = errors.New("resolver: server failure")
-	ErrTimeout  = errors.New("resolver: query timed out")
+	// ErrTimeout: every attempt's window elapsed without a matching
+	// response datagram.
+	ErrTimeout = errors.New("resolver: query timed out")
+	// ErrDial: the transport could not reach the server (dial or write
+	// failure, or the kernel surfaced an ICMP refusal on the socket).
+	ErrDial = errors.New("resolver: server unreachable")
+	// ErrBadResponse: the attempt window elapsed while the server was
+	// sending datagrams that failed to parse — a misbehaving or
+	// middlebox-mangled endpoint, not a silent one, so retry policy can
+	// treat it differently from ErrTimeout.
+	ErrBadResponse = errors.New("resolver: malformed response")
+	// ErrRateLimited: a nameserver lane's bounded queue was full and the
+	// query was shed instead of enqueued (the PR 2 dispatcher idiom:
+	// never block the probe path behind a slow authority).
+	ErrRateLimited = errors.New("resolver: nameserver rate limited")
 )
 
-// UDPExchanger sends queries over UDP with retry and ID verification.
-type UDPExchanger struct {
-	Addr    string        // server address, e.g. "127.0.0.1:5353"
-	Timeout time.Duration // per-attempt timeout
-	Retries int           // additional attempts after the first
-}
-
-// Exchange implements Exchanger.
-func (u *UDPExchanger) Exchange(ctx context.Context, msg *dnsmsg.Message) (*dnsmsg.Message, error) {
-	wire, err := msg.Pack()
-	if err != nil {
-		return nil, err
-	}
-	timeout := u.Timeout
-	if timeout <= 0 {
-		timeout = 2 * time.Second
-	}
-	attempts := u.Retries + 1
-	var lastErr error
-	for i := 0; i < attempts; i++ {
-		resp, err := u.exchangeOnce(ctx, wire, msg.Header.ID, timeout)
-		if err == nil {
-			return resp, nil
-		}
-		lastErr = err
-		if ctx.Err() != nil {
-			break
-		}
-	}
-	return nil, fmt.Errorf("%w: %v", ErrTimeout, lastErr)
-}
-
-func (u *UDPExchanger) exchangeOnce(ctx context.Context, wire []byte, id uint16, timeout time.Duration) (*dnsmsg.Message, error) {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "udp", u.Addr)
-	if err != nil {
-		return nil, err
-	}
-	defer conn.Close()
-	deadline := time.Now().Add(timeout)
-	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
-		deadline = ctxDeadline
-	}
-	conn.SetDeadline(deadline)
-	if _, err := conn.Write(wire); err != nil {
-		return nil, err
-	}
-	buf := make([]byte, 64<<10)
-	for {
-		n, err := conn.Read(buf)
-		if err != nil {
-			return nil, err
-		}
-		resp, err := dnsmsg.Unpack(buf[:n])
-		if err != nil {
-			continue // garbage datagram; keep waiting
-		}
-		if resp.Header.ID != id || !resp.Header.Response {
-			continue // mismatched transaction
-		}
-		return resp, nil
-	}
-}
+// cacheShards stripes the cache and singleflight tables. Matches the
+// pipeline candidate store and worldsim DomainStore so the sharding
+// story is uniform repo-wide. Power of two for cheap masking.
+const cacheShards = 64
 
 // cacheKey identifies a cached RRset.
 type cacheKey struct {
@@ -117,6 +97,25 @@ type cacheEntry struct {
 	inserted time.Time
 }
 
+// flight is one in-progress upstream exchange; concurrent lookups of
+// the same key wait on done instead of issuing duplicate queries.
+type flight struct {
+	done chan struct{}
+	recs []dnsmsg.Record
+	err  error
+}
+
+// cacheShard is one stripe: a mutex-guarded entry map, the in-flight
+// exchange table, and this stripe's counters.
+type cacheShard struct {
+	mu        sync.Mutex
+	entries   map[cacheKey]cacheEntry
+	inflight  map[cacheKey]*flight
+	hits      int64
+	misses    int64
+	coalesced int64 // lookups that joined another caller's flight
+}
+
 // Config parameterizes a Resolver.
 type Config struct {
 	// MaxTTL clamps positive answers' cache lifetime. The paper's
@@ -124,23 +123,28 @@ type Config struct {
 	MaxTTL time.Duration
 	// NegTTL is the cache lifetime of NXDOMAIN answers.
 	NegTTL time.Duration
+	// BatchWorkers bounds LookupBatch's miss fan-out when the exchanger
+	// has no batch interface: ≤1 exchanges misses serially on the
+	// caller (the zero-overhead baseline), ≥2 spreads them over a
+	// worker pool this wide. Batch-capable exchangers pipeline the
+	// whole miss set in one call and ignore this knob.
+	BatchWorkers int
 }
 
 // Resolver is a caching stub resolver over an Exchanger.
 type Resolver struct {
-	cfg Config
-	clk simclock.Clock
-	ex  Exchanger
-	rng *rand.Rand
+	cfg  Config
+	clk  simclock.Clock
+	ex   Exchanger
+	seed int64
 
-	mu     sync.Mutex
-	cache  map[cacheKey]cacheEntry
-	hits   int64
-	misses int64
+	shards [cacheShards]cacheShard
 }
 
 // New creates a resolver. clk drives cache expiry so simulations expire
-// entries on virtual time.
+// entries on virtual time. rng, when non-nil, seeds the deterministic
+// query-ID derivation (one draw at construction — per-call IDs are
+// derived, never drawn, so lookups share no RNG state).
 func New(cfg Config, clk simclock.Clock, ex Exchanger, rng *rand.Rand) *Resolver {
 	if cfg.MaxTTL <= 0 {
 		cfg.MaxTTL = 60 * time.Second
@@ -148,81 +152,299 @@ func New(cfg Config, clk simclock.Clock, ex Exchanger, rng *rand.Rand) *Resolver
 	if cfg.NegTTL <= 0 {
 		cfg.NegTTL = 60 * time.Second
 	}
-	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
+	seed := int64(1)
+	if rng != nil {
+		seed = rng.Int63()
 	}
-	return &Resolver{cfg: cfg, clk: clk, ex: ex, rng: rng, cache: make(map[cacheKey]cacheEntry)}
+	r := &Resolver{cfg: cfg, clk: clk, ex: ex, seed: seed}
+	for i := range r.shards {
+		r.shards[i].entries = make(map[cacheKey]cacheEntry)
+		r.shards[i].inflight = make(map[cacheKey]*flight)
+	}
+	return r
 }
 
-// Stats returns cumulative cache hit/miss counters.
+// shard maps a canonical name to its cache stripe.
+func (r *Resolver) shard(name string) *cacheShard {
+	return &r.shards[dnsname.Hash64(name)&(cacheShards-1)]
+}
+
+// QueryID derives the transaction ID for attempt n of a (name, type)
+// query under seed. Pure function of its inputs — replacing the old
+// shared *rand.Rand (which raced under concurrent lookups) and making
+// the wire trace independent of lookup interleaving. Transports retry
+// with AttemptID so each attempt is distinguishable on the wire.
+func QueryID(seed int64, name string, typ dnsmsg.Type, attempt int) uint16 {
+	h := dnsname.Hash64(dnsname.Canonical(name))
+	h ^= uint64(seed) * 0x9e3779b97f4a7c15
+	h ^= uint64(typ) << 32
+	return AttemptID(uint16(dnsname.Mix64(h)), attempt)
+}
+
+// AttemptID rotates a base transaction ID for retry attempt n (attempt
+// 0 is the base itself). Transports apply it per attempt so a late
+// answer to a timed-out attempt is never mistaken for the current one,
+// and the (seed, name, type, attempt) → ID derivation stays total.
+func AttemptID(base uint16, attempt int) uint16 {
+	if attempt == 0 {
+		return base
+	}
+	return uint16(dnsname.Mix64(uint64(base) ^ uint64(attempt)<<16))
+}
+
+// Stats returns cumulative cache hit/miss counters summed over shards.
+// Lookups that coalesced onto another caller's in-flight exchange count
+// as hits (the cache answered them without an upstream query).
 func (r *Resolver) Stats() (hits, misses int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.hits, r.misses
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		hits += sh.hits + sh.coalesced
+		misses += sh.misses
+		sh.mu.Unlock()
+	}
+	return hits, misses
 }
 
-// Flush clears the cache.
+// CacheStats is the probe engine's operational view of the cache.
+type CacheStats struct {
+	Hits      int64 // answered from a live cache entry
+	Misses    int64 // upstream exchanges issued
+	Coalesced int64 // joined another lookup's in-flight exchange
+	Entries   int   // live + expired entries currently held
+}
+
+// CacheStats sums the per-shard counters.
+func (r *Resolver) CacheStats() CacheStats {
+	var cs CacheStats
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		cs.Hits += sh.hits
+		cs.Misses += sh.misses
+		cs.Coalesced += sh.coalesced
+		cs.Entries += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return cs
+}
+
+// Flush clears the cache. In-flight exchanges are unaffected: they
+// complete and re-populate their keys.
 func (r *Resolver) Flush() {
-	r.mu.Lock()
-	r.cache = make(map[cacheKey]cacheEntry)
-	r.mu.Unlock()
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		sh.entries = make(map[cacheKey]cacheEntry)
+		sh.mu.Unlock()
+	}
 }
 
 // Lookup resolves (name, type), consulting the cache first. It returns
 // the answer records; NXDOMAIN surfaces as ErrNXDomain (cached
-// negatively), other failures as ErrServFail/ErrTimeout (not cached).
+// negatively), other failures as ErrServFail / the exchange layer's
+// transport errors (not cached). Concurrent lookups of the same key
+// coalesce onto one upstream exchange (singleflight), so a thundering
+// herd of misses on an expired entry costs one query.
 func (r *Resolver) Lookup(ctx context.Context, name string, typ dnsmsg.Type) ([]dnsmsg.Record, error) {
 	name = dnsname.Canonical(name)
 	key := cacheKey{name, typ}
-	now := r.clk.Now()
+	sh := r.shard(name)
 
-	r.mu.Lock()
-	if e, ok := r.cache[key]; ok && e.expires.After(now) {
-		r.hits++
-		r.mu.Unlock()
-		if e.rcode == dnsmsg.RCodeNXDomain {
-			return nil, ErrNXDomain
-		}
-		return e.records, nil
+	sh.mu.Lock()
+	if recs, hit, err := sh.cachedLocked(key, r.clk.Now()); hit {
+		sh.mu.Unlock()
+		return recs, err
 	}
-	r.misses++
-	r.mu.Unlock()
+	if fl, ok := sh.inflight[key]; ok {
+		sh.coalesced++
+		sh.mu.Unlock()
+		return r.await(ctx, fl)
+	}
+	fl := &flight{done: make(chan struct{})}
+	sh.inflight[key] = fl
+	sh.misses++
+	sh.mu.Unlock()
 
-	q := dnsmsg.NewQuery(uint16(r.rng.Intn(1<<16)), name, typ)
+	q := dnsmsg.NewQuery(QueryID(r.seed, name, typ, 0), name, typ)
 	resp, err := r.ex.Exchange(ctx, q)
-	if err != nil {
-		return nil, err
+	recs, err := r.complete(sh, key, fl, resp, err)
+	return recs, err
+}
+
+// cachedLocked serves key from the shard's entry table. Caller holds
+// sh.mu. hit reports whether a live entry answered.
+func (sh *cacheShard) cachedLocked(key cacheKey, now time.Time) (recs []dnsmsg.Record, hit bool, err error) {
+	e, ok := sh.entries[key]
+	if !ok || !e.expires.After(now) {
+		return nil, false, nil
 	}
-	switch resp.Header.RCode {
-	case dnsmsg.RCodeNoError:
-		ttl := r.cfg.MaxTTL
-		for _, rec := range resp.Answers {
-			if d := time.Duration(rec.TTL) * time.Second; d < ttl {
-				ttl = d
+	sh.hits++
+	if e.rcode == dnsmsg.RCodeNXDomain {
+		return nil, true, ErrNXDomain
+	}
+	return e.records, true, nil
+}
+
+// await blocks until fl completes (or ctx cancels) and returns its
+// outcome — the joining half of the singleflight.
+func (r *Resolver) await(ctx context.Context, fl *flight) ([]dnsmsg.Record, error) {
+	select {
+	case <-fl.done:
+		return fl.recs, fl.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("resolver: lookup canceled: %w", ctx.Err())
+	}
+}
+
+// complete classifies an exchange outcome, stores cacheable answers,
+// publishes the result to every lookup joined on fl, and retires the
+// flight.
+func (r *Resolver) complete(sh *cacheShard, key cacheKey, fl *flight, resp *dnsmsg.Message, err error) ([]dnsmsg.Record, error) {
+	var recs []dnsmsg.Record
+	if err == nil {
+		now := r.clk.Now()
+		switch resp.Header.RCode {
+		case dnsmsg.RCodeNoError:
+			ttl := r.cfg.MaxTTL
+			for _, rec := range resp.Answers {
+				if d := time.Duration(rec.TTL) * time.Second; d < ttl {
+					ttl = d
+				}
+			}
+			recs = resp.Answers
+			r.store(sh, key, cacheEntry{records: recs, rcode: resp.Header.RCode, expires: now.Add(ttl), inserted: now})
+		case dnsmsg.RCodeNXDomain:
+			err = ErrNXDomain
+			r.store(sh, key, cacheEntry{rcode: resp.Header.RCode, expires: now.Add(r.cfg.NegTTL), inserted: now})
+		default:
+			err = fmt.Errorf("%w: %s", ErrServFail, resp.Header.RCode)
+		}
+	}
+	fl.recs, fl.err = recs, err
+	sh.mu.Lock()
+	delete(sh.inflight, key)
+	sh.mu.Unlock()
+	close(fl.done)
+	return recs, err
+}
+
+func (r *Resolver) store(sh *cacheShard, key cacheKey, e cacheEntry) {
+	sh.mu.Lock()
+	sh.entries[key] = e
+	sh.mu.Unlock()
+}
+
+// Query names one lookup in a batch.
+type Query struct {
+	Name string
+	Type dnsmsg.Type
+}
+
+// Result is one batch lookup's outcome, positionally matching the
+// query slice handed to LookupBatch.
+type Result struct {
+	Records []dnsmsg.Record
+	Err     error
+}
+
+// ownedMiss is a batch miss this LookupBatch call must resolve (it won
+// the singleflight registration for the key).
+type ownedMiss struct {
+	key cacheKey
+	fl  *flight
+	idx []int // result slots answered by this key
+}
+
+// joinedMiss is a batch miss another lookup is already resolving.
+type joinedMiss struct {
+	fl  *flight
+	idx []int
+}
+
+// LookupBatch resolves qs as one operation: cache hits answer
+// immediately, duplicate keys within the batch collapse to one lookup,
+// keys already in flight (here or in any concurrent Lookup) are joined
+// rather than re-queried, and the remaining misses fan out through the
+// exchange layer — as a single pipelined ExchangeBatch call when the
+// transport supports it, otherwise over a Config.BatchWorkers-wide
+// pool. Results are positional; each slot carries records or an error
+// exactly as Lookup would have returned them.
+func (r *Resolver) LookupBatch(ctx context.Context, qs []Query) []Result {
+	out := make([]Result, len(qs))
+	var owned []ownedMiss
+	var joined []joinedMiss
+	slot := make(map[cacheKey]int, len(qs)) // key → owned/joined position (owned ≥0, joined <0)
+
+	for i, q := range qs {
+		key := cacheKey{dnsname.Canonical(q.Name), q.Type}
+		if s, ok := slot[key]; ok { // duplicate within the batch
+			if s >= 0 {
+				owned[s].idx = append(owned[s].idx, i)
+			} else {
+				joined[-s-1].idx = append(joined[-s-1].idx, i)
+			}
+			continue
+		}
+		sh := r.shard(key.name)
+		sh.mu.Lock()
+		if recs, hit, err := sh.cachedLocked(key, r.clk.Now()); hit {
+			sh.mu.Unlock()
+			out[i] = Result{Records: recs, Err: err}
+			continue
+		}
+		if fl, ok := sh.inflight[key]; ok {
+			sh.coalesced++
+			sh.mu.Unlock()
+			joined = append(joined, joinedMiss{fl: fl, idx: []int{i}})
+			slot[key] = -len(joined)
+			continue
+		}
+		fl := &flight{done: make(chan struct{})}
+		sh.inflight[key] = fl
+		sh.misses++
+		sh.mu.Unlock()
+		owned = append(owned, ownedMiss{key: key, fl: fl, idx: []int{i}})
+		slot[key] = len(owned) - 1
+	}
+
+	if len(owned) > 0 {
+		msgs := make([]*dnsmsg.Message, len(owned))
+		for i, m := range owned {
+			msgs[i] = dnsmsg.NewQuery(QueryID(r.seed, m.key.name, m.key.typ, 0), m.key.name, m.key.typ)
+		}
+		resps := make([]*dnsmsg.Message, len(owned))
+		errs := make([]error, len(owned))
+		if be, ok := r.ex.(BatchExchanger); ok {
+			resps, errs = be.ExchangeBatch(ctx, msgs)
+		} else {
+			workpool.Run(len(owned), r.cfg.BatchWorkers, func(i int) {
+				resps[i], errs[i] = r.ex.Exchange(ctx, msgs[i])
+			})
+		}
+		for i, m := range owned {
+			recs, err := r.complete(r.shard(m.key.name), m.key, m.fl, resps[i], errs[i])
+			for _, j := range m.idx {
+				out[j] = Result{Records: recs, Err: err}
 			}
 		}
-		r.store(key, cacheEntry{records: resp.Answers, rcode: resp.Header.RCode, expires: now.Add(ttl), inserted: now})
-		return resp.Answers, nil
-	case dnsmsg.RCodeNXDomain:
-		r.store(key, cacheEntry{rcode: resp.Header.RCode, expires: now.Add(r.cfg.NegTTL), inserted: now})
-		return nil, ErrNXDomain
-	default:
-		return nil, fmt.Errorf("%w: %s", ErrServFail, resp.Header.RCode)
 	}
+	for _, m := range joined {
+		recs, err := r.await(ctx, m.fl)
+		for _, j := range m.idx {
+			out[j] = Result{Records: recs, Err: err}
+		}
+	}
+	return out
 }
 
-func (r *Resolver) store(key cacheKey, e cacheEntry) {
-	r.mu.Lock()
-	r.cache[key] = e
-	r.mu.Unlock()
-}
-
-// LookupAddrs resolves name to all IPv4 and IPv6 addresses (A + AAAA).
+// LookupAddrs resolves name to all IPv4 and IPv6 addresses — A and AAAA
+// issued as one batch, so a batch-capable exchanger carries both
+// questions in a single pipelined round.
 func (r *Resolver) LookupAddrs(ctx context.Context, name string) (v4, v6 []dnsmsg.Record, err error) {
-	v4, err4 := r.Lookup(ctx, name, dnsmsg.TypeA)
-	v6, err6 := r.Lookup(ctx, name, dnsmsg.TypeAAAA)
-	if err4 != nil && err6 != nil {
-		return nil, nil, err4
+	res := r.LookupBatch(ctx, []Query{{Name: name, Type: dnsmsg.TypeA}, {Name: name, Type: dnsmsg.TypeAAAA}})
+	if res[0].Err != nil && res[1].Err != nil {
+		return nil, nil, res[0].Err
 	}
-	return v4, v6, nil
+	return res[0].Records, res[1].Records, nil
 }

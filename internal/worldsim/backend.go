@@ -40,6 +40,28 @@ func (b probeBackend) LookupA(domain string) []netip.Addr {
 
 func (b probeBackend) LookupAAAA(domain string) []netip.Addr { return nil }
 
+// ProbeBatch implements measure.BatchBackend: one positional result per
+// requested name, computed from the same ground-truth reads the
+// per-domain path makes, so batched rounds are byte-identical to serial
+// ones at any probe width.
+func (b probeBackend) ProbeBatch(domains []string, mail bool) []measure.ProbeResult {
+	out := make([]measure.ProbeResult, len(domains))
+	for i, domain := range domains {
+		pr := &out[i]
+		pr.NS, pr.InZone = b.AuthoritativeNS(domain)
+		if !pr.InZone {
+			continue
+		}
+		pr.V4 = b.LookupA(domain)
+		pr.V6 = b.LookupAAAA(domain)
+		if mail {
+			pr.MX = b.LookupMX(domain)
+			pr.TXT = b.LookupTXT(domain)
+		}
+	}
+	return out
+}
+
 // LookupMX implements measure.MailBackend from ground truth, answering
 // only while the domain is delegated.
 func (b probeBackend) LookupMX(domain string) []string {
