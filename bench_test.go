@@ -25,10 +25,12 @@ import (
 	"darkdns/internal/ct"
 	"darkdns/internal/czds"
 	"darkdns/internal/dnsname"
+	"darkdns/internal/feed"
 	"darkdns/internal/measure"
 	"darkdns/internal/psl"
 	"darkdns/internal/rdap"
 	"darkdns/internal/simclock"
+	"darkdns/internal/stream"
 	"darkdns/internal/worldsim"
 )
 
@@ -589,6 +591,77 @@ func BenchmarkProbeBatchSerial(b *testing.B) { benchProbeBatch(b, 0) }
 // the probes/s pair tracks the sixth engine's trajectory in BENCH_ci.json.
 func BenchmarkProbeBatchParallel(b *testing.B) {
 	benchProbeBatch(b, runtime.GOMAXPROCS(0))
+}
+
+// benchFeedFanout measures the pub/sub feed tier end to end: one op is
+// one entry published to the topic, with every subscriber connected over
+// real TCP at offset 0 before the timer starts. The entries/s metric is
+// total deliveries (publishes × subscribers) per second — the fan-out
+// throughput BENCH_ci.json tracks across the 1/8/64 subscriber ladder.
+func benchFeedFanout(b *testing.B, subs int) {
+	bus := stream.NewBus()
+	topic := bus.Topic("bench-feed")
+	// A deep queue keeps the benchmark shed-free so every subscriber
+	// terminates on delivery of the final offset rather than a gap.
+	srv := feed.NewServerConfig(topic, feed.ServerConfig{QueueBound: 1 << 16, BatchMax: 512})
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	final := int64(b.N - 1)
+	var wg sync.WaitGroup
+	var delivered atomic.Int64
+	for s := 0; s < subs; s++ {
+		sub, err := feed.NewClient(addr.String()).Subscribe(ctx, feed.SubscribeOptions{From: 0, Buffer: 4096})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sub.Close()
+		wg.Add(1)
+		go func(sub *feed.Subscription) {
+			defer wg.Done()
+			for ev := range sub.C {
+				switch ev.Kind {
+				case feed.EventEntry:
+					delivered.Add(1)
+					if ev.Entry.Offset == final {
+						return
+					}
+				case feed.EventGap:
+					if ev.Gap.To >= final {
+						return
+					}
+				}
+			}
+		}(sub)
+	}
+
+	when := time.Date(2023, 11, 1, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topic.Publish(when, benchName(i)+".shop", nil)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(delivered.Load())/secs, "entries/s")
+	}
+}
+
+// BenchmarkFeedFanout runs the fan-out ladder the feed tier's acceptance
+// tracks: identical publish load delivered to 1, 8, and 64 concurrent
+// framed subscribers.
+func BenchmarkFeedFanout(b *testing.B) {
+	for _, subs := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			benchFeedFanout(b, subs)
+		})
+	}
 }
 
 func benchName(i int) string {

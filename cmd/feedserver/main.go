@@ -6,11 +6,14 @@
 // Connect with:
 //
 //	nc localhost 7543
-//	LIVE            (or: FROM 0 to replay from the beginning)
+//	SUBSCRIBE FROM 0    (framed session protocol; HELLO <tenant> first to name a tenant)
+//	LIVE                (legacy shim; or: FROM 0 to replay from the beginning)
 //
 // Usage:
 //
 //	feedserver [-listen 127.0.0.1:7543] [-scale 0.0005] [-tick 500ms]
+//	           [-queue-bound 1024] [-shed-policy drop-oldest] [-heartbeat 1s]
+//	           [-tenant-max-subs 0] [-tenant-rate 0]
 package main
 
 import (
@@ -34,7 +37,18 @@ func main() {
 	tick := flag.Duration("tick", 500*time.Millisecond, "wall-clock interval per simulated hour")
 	seed := flag.Int64("seed", 1, "world seed")
 	ingestWorkers := flag.Int("ingest-workers", 0, "pipeline ingest mode: 0 = per-event, ≥1 = micro-batched with this screening pool width")
+	queueBound := flag.Int("queue-bound", 1024, "per-subscriber queue bound before the shed policy applies")
+	shedPolicy := flag.String("shed-policy", "drop-oldest", "slow-subscriber policy: drop-oldest (GAP frames) or disconnect")
+	heartbeat := flag.Duration("heartbeat", time.Second, "idle heartbeat interval on framed sessions")
+	tenantMaxSubs := flag.Int("tenant-max-subs", 0, "max concurrent subscribers per tenant (0 = unlimited)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant delivery rate in entries/s (0 = unlimited)")
 	flag.Parse()
+
+	policy, err := feed.ParseShedPolicy(*shedPolicy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "feedserver:", err)
+		os.Exit(1)
+	}
 
 	w := worldsim.New(worldsim.DefaultConfig(*seed, *scale))
 	start, end := w.Window()
@@ -52,13 +66,19 @@ func main() {
 		p.Start(w.Hub)
 	}
 
-	srv := feed.NewServer(bus.Topic("nrd-feed"))
+	srv := feed.NewServerConfig(bus.Topic("nrd-feed"), feed.ServerConfig{
+		QueueBound:           *queueBound,
+		ShedPolicy:           policy,
+		Heartbeat:            *heartbeat,
+		TenantMaxSubscribers: *tenantMaxSubs,
+		TenantRate:           *tenantRate,
+	})
 	addr, err := srv.Serve(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "feedserver:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("feed listening on %s (send LIVE or FROM <offset>)\n", addr)
+	fmt.Printf("feed listening on %s (send SUBSCRIBE [FROM <offset>], or legacy LIVE / FROM <offset>)\n", addr)
 	fmt.Printf("simulating %s → %s, one hour per %v\n", start.Format("2006-01-02"), end.Format("2006-01-02"), *tick)
 
 	stop := make(chan os.Signal, 1)
@@ -76,6 +96,9 @@ func main() {
 		case <-stop:
 			fmt.Println("shutting down")
 			srv.Close()
+			st := srv.Stats()
+			fmt.Printf("served %d sessions (%d legacy): %d entries in %d batches, %d bytes, %d shed, %d gaps, %d encode drops\n",
+				st.Sessions, st.LegacySessions, st.Delivered, st.Batches, st.BytesOut, st.Shed, st.Gaps, st.EncodeDrops)
 			w.Stop()
 			return
 		}

@@ -43,10 +43,10 @@ func registeredFlags(t *testing.T, path string) []string {
 	return names
 }
 
-// TestReadmeFlagReference fails when a flag registered in cmd/darkdns or
-// cmd/reproduce has no row in README.md's flag reference (a table row
-// whose first cell is the backticked flag), or when any of the five
-// engine -*-workers flags is missing entirely.
+// TestReadmeFlagReference fails when a flag registered in cmd/darkdns,
+// cmd/reproduce, or cmd/feedserver has no row in README.md's flag
+// reference (a table row whose first cell is the backticked flag), or
+// when any of the five engine -*-workers flags is missing entirely.
 func TestReadmeFlagReference(t *testing.T) {
 	readme, err := os.ReadFile("README.md")
 	if err != nil {
@@ -54,7 +54,7 @@ func TestReadmeFlagReference(t *testing.T) {
 	}
 	doc := string(readme)
 
-	for _, cmd := range []string{"cmd/darkdns/main.go", "cmd/reproduce/main.go"} {
+	for _, cmd := range []string{"cmd/darkdns/main.go", "cmd/reproduce/main.go", "cmd/feedserver/main.go"} {
 		for _, name := range registeredFlags(t, cmd) {
 			row := fmt.Sprintf("| `-%s` |", name)
 			if !strings.Contains(doc, row) {

@@ -37,22 +37,42 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("feed server on %s with %d entries\n\n", addr, bus.Topic("nrd-feed").Len())
 
-	// Client side: replay everything from offset 0 over TCP.
+	// Client side: a framed session replaying everything from offset 0
+	// over TCP, with auto-resume armed the way a production consumer
+	// would run it.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	count := 0
-	total := bus.Topic("nrd-feed").Len()
-	err = feed.NewClient(addr.String()).Stream(ctx, 0, func(e feed.Entry) {
-		if count < 8 {
-			fmt.Printf("  #%-4d %-28s seen %s\n", e.Offset, e.Domain, e.Time.Format("Jan 2 15:04:05"))
-		}
-		count++
-		if count == total {
-			cancel() // consumed the full replay
-		}
+	sub, err := feed.NewClient(addr.String()).Subscribe(ctx, feed.SubscribeOptions{
+		Tenant:     "example",
+		From:       0,
+		AutoResume: true,
 	})
-	if err != nil && err != feed.ErrStopped {
+	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("\nreplayed %d feed entries over TCP\n", count)
+	defer sub.Close()
+
+	count, gaps := 0, 0
+	total := bus.Topic("nrd-feed").Len()
+	for ev := range sub.C {
+		switch ev.Kind {
+		case feed.EventEntry:
+			if count < 8 {
+				fmt.Printf("  #%-4d %-28s seen %s\n", ev.Entry.Offset, ev.Entry.Domain, ev.Entry.Time.Format("Jan 2 15:04:05"))
+			}
+			count++
+		case feed.EventGap:
+			gaps++
+			fmt.Printf("  GAP   offsets %d-%d dropped (%s)\n", ev.Gap.From, ev.Gap.To, ev.Gap.Reason)
+		case feed.EventResumed:
+			fmt.Printf("  resumed at offset %d\n", ev.From)
+		}
+		if count == total {
+			break
+		}
+	}
+	if err := sub.Err(); err != nil && err != feed.ErrStopped {
+		panic(err)
+	}
+	fmt.Printf("\nreplayed %d feed entries over TCP (%d gaps, next offset %d)\n", count, gaps, sub.NextOffset())
 }

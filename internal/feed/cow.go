@@ -1,0 +1,80 @@
+package feed
+
+import (
+	"maps"
+	"sync"
+	"sync/atomic"
+)
+
+// cowMap is a copy-on-write map: lock-free reads through an
+// atomic.Pointer snapshot, mutex-serialized clone-and-swap writes — the
+// stream.Bus/rdap.Mux idiom (DESIGN.md §6) applied to the fan-out tier's
+// registry shards and tenant directory. The zero value is an empty map,
+// ready to use.
+type cowMap[K comparable, V any] struct {
+	mu sync.Mutex // serializes writers' clone-and-swap
+	m  atomic.Pointer[map[K]V]
+}
+
+// snapshot returns the current immutable generation (nil when empty).
+func (c *cowMap[K, V]) snapshot() map[K]V {
+	if p := c.m.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// get looks k up in the current generation. Lock-free.
+func (c *cowMap[K, V]) get(k K) (V, bool) {
+	v, ok := c.snapshot()[k]
+	return v, ok
+}
+
+// set installs k→v in a new generation. In-flight readers keep the
+// previous one until their operation completes.
+func (c *cowMap[K, V]) set(k K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next := maps.Clone(c.snapshot())
+	if next == nil {
+		next = map[K]V{}
+	}
+	next[k] = v
+	c.m.Store(&next)
+}
+
+// delete removes k in a new generation.
+func (c *cowMap[K, V]) delete(k K) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.snapshot()
+	if _, ok := cur[k]; !ok {
+		return
+	}
+	next := maps.Clone(cur)
+	delete(next, k)
+	c.m.Store(&next)
+}
+
+// getOrCreate returns k's value, building and installing mk() under the
+// writer lock when k is absent — the double-checked path for concurrent
+// first access.
+func (c *cowMap[K, V]) getOrCreate(k K, mk func() V) V {
+	if v, ok := c.get(k); ok {
+		return v
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.snapshot()
+	if v, ok := cur[k]; ok {
+		return v
+	}
+	next := maps.Clone(cur)
+	if next == nil {
+		next = map[K]V{}
+	}
+	v := mk()
+	next[k] = v
+	c.m.Store(&next)
+	return v
+}

@@ -1,24 +1,33 @@
 // Package feed implements the public newly-registered-domain feed the
-// paper releases (zonestream.openintel.nl): a TCP server that streams the
-// pipeline's NRD topic to subscribers as JSON lines, with replay from a
-// chosen offset, plus a consuming client.
+// paper releases (zonestream.openintel.nl) as a multi-tenant pub/sub
+// fan-out tier: a framed session protocol over TCP (HELLO / SUBSCRIBE /
+// UNSUBSCRIBE commands answered with batch DATA frames, sequenced
+// heartbeats, and explicit GAP markers when a slow subscriber is shed),
+// a sharded copy-on-write subscriber registry, per-subscriber bounded
+// queues with a configurable shedding policy, per-tenant subscriber caps
+// and delivery rate limits, and a consuming client with auto-resume.
+//
+// The package splits along the tier's layers:
+//
+//   - protocol.go — the wire grammar: command parsing and frame encoding
+//   - registry.go — sharded subscriber registry, tenants, bounded queues
+//   - server.go   — listener, session loop, fan-out pump, legacy shim
+//   - client.go   — Subscribe/Subscription consumer with auto-resume
+//
+// The legacy one-line request protocol ("FROM <offset>\n" / "LIVE\n"
+// followed by raw JSON entry lines) is still served through a
+// compatibility shim, so pre-existing consumers keep working.
+//
+// DESIGN.md §11 describes the architecture and its delivery contract:
+// every subscriber of the same topic at the same offset observes a
+// byte-identical entry sequence, modulo explicit GAP markers.
 package feed
 
 import (
-	"bufio"
-	"context"
-	"encoding/json"
-	"errors"
-	"fmt"
-	"net"
-	"strconv"
-	"sync"
 	"time"
-
-	"darkdns/internal/stream"
 )
 
-// Entry is one feed line.
+// Entry is one feed record as delivered to subscribers.
 type Entry struct {
 	Offset int64     `json:"offset"`
 	Time   time.Time `json:"time"`
@@ -26,166 +35,13 @@ type Entry struct {
 	Raw    string    `json:"raw,omitempty"`
 }
 
-// Server streams a topic to TCP subscribers. Each client sends one
-// request line ("FROM <offset>\n" or "LIVE\n") and then receives JSON
-// lines.
-type Server struct {
-	topic *stream.Topic
-
-	mu     sync.Mutex
-	ln     net.Listener
-	closed bool
-}
-
-// NewServer serves the given topic.
-func NewServer(topic *stream.Topic) *Server {
-	return &Server{topic: topic}
-}
-
-// Serve listens on addr and returns the bound address.
-func (s *Server) Serve(addr string) (net.Addr, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.ln = ln
-	s.mu.Unlock()
-	go s.acceptLoop(ln)
-	return ln.Addr(), nil
-}
-
-// Close stops the listener.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil
-	}
-	s.closed = true
-	if s.ln != nil {
-		return s.ln.Close()
-	}
-	return nil
-}
-
-func (s *Server) acceptLoop(ln net.Listener) {
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		go s.serveConn(conn)
-	}
-}
-
-func (s *Server) serveConn(conn net.Conn) {
-	defer conn.Close()
-	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
-	req, err := bufio.NewReader(conn).ReadString('\n')
-	if err != nil {
-		return
-	}
-	from := int64(-1) // LIVE: start at the current head
-	var cmd string
-	var arg string
-	if n, _ := fmt.Sscanf(req, "%s %s", &cmd, &arg); n >= 1 {
-		switch cmd {
-		case "FROM":
-			v, err := strconv.ParseInt(arg, 10, 64)
-			if err != nil {
-				fmt.Fprintf(conn, `{"error":"bad offset"}`+"\n")
-				return
-			}
-			from = v
-		case "LIVE":
-		default:
-			fmt.Fprintf(conn, `{"error":"bad command"}`+"\n")
-			return
-		}
-	}
-	group := fmt.Sprintf("conn-%s-%d", conn.RemoteAddr(), time.Now().UnixNano())
-	if from < 0 {
-		s.topic.Commit(group, int64(s.topic.Len()))
-	} else {
-		s.topic.Commit(group, from)
-	}
-	consumer := stream.NewConsumer(s.topic, group, 256)
-	w := bufio.NewWriter(conn)
-	for {
-		msgs, ok := consumer.WaitNext(time.Second)
-		if !ok {
-			// Heartbeat the connection; a dead peer errors out here.
-			conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
-			if _, err := w.WriteString("\n"); err != nil {
-				return
-			}
-			if err := w.Flush(); err != nil {
-				return
-			}
-			continue
-		}
-		conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
-		for _, m := range msgs {
-			e := Entry{Offset: m.Offset, Time: m.Time, Domain: m.Key, Raw: string(m.Value)}
-			line, err := json.Marshal(e)
-			if err != nil {
-				continue
-			}
-			if _, err := w.Write(append(line, '\n')); err != nil {
-				return
-			}
-		}
-		if err := w.Flush(); err != nil {
-			return
-		}
-	}
-}
-
-// Client consumes a feed server.
-type Client struct {
-	addr string
-}
-
-// NewClient creates a client for the feed at addr.
-func NewClient(addr string) *Client { return &Client{addr: addr} }
-
-// ErrStopped is returned when the context ends the stream.
-var ErrStopped = errors.New("feed: stopped")
-
-// Stream connects and delivers entries to fn until ctx is done. from < 0
-// requests live tailing; otherwise replay starts at the given offset.
-func (c *Client) Stream(ctx context.Context, from int64, fn func(Entry)) error {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", c.addr)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	go func() {
-		<-ctx.Done()
-		conn.Close()
-	}()
-	if from < 0 {
-		fmt.Fprintf(conn, "LIVE\n")
-	} else {
-		fmt.Fprintf(conn, "FROM %d\n", from)
-	}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue // heartbeat
-		}
-		var e Entry
-		if err := json.Unmarshal(line, &e); err != nil {
-			return fmt.Errorf("feed: bad line: %w", err)
-		}
-		fn(e)
-	}
-	if ctx.Err() != nil {
-		return ErrStopped
-	}
-	return sc.Err()
+// Gap marks a hole the server deliberately left in a subscriber's stream:
+// the inclusive offset range [From, To] was shed (slow consumer) or
+// could not be encoded. Subscribers that need the lost range reconnect
+// with SUBSCRIBE FROM to replay it from the log.
+type Gap struct {
+	From    int64  `json:"from"`
+	To      int64  `json:"to"`
+	Dropped int64  `json:"dropped"`
+	Reason  string `json:"reason,omitempty"`
 }

@@ -1,0 +1,695 @@
+package feed
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"darkdns/internal/stream"
+)
+
+// DefaultTenant is the tenant a session belongs to until it sends HELLO.
+const DefaultTenant = "public"
+
+// ErrServerClosed terminates subscriber queues when the server shuts
+// down.
+var ErrServerClosed = errors.New("feed: server closed")
+
+// pumpNonce makes fan-out consumer-group names unique across servers
+// sharing one topic.
+var pumpNonce atomic.Uint64
+
+// ServerConfig parameterizes the fan-out tier.
+type ServerConfig struct {
+	// QueueBound caps each subscriber's live-delivery queue (entries).
+	QueueBound int
+	// ShedPolicy selects what happens on queue overflow.
+	ShedPolicy ShedPolicy
+	// Heartbeat is the idle interval between hb frames (legacy shim:
+	// blank lines).
+	Heartbeat time.Duration
+	// BatchMax bounds entries per DATA frame and per catch-up log read.
+	BatchMax int
+	// WriteTimeout is the per-frame write deadline; a peer that cannot
+	// drain one frame within it is disconnected.
+	WriteTimeout time.Duration
+	// TenantMaxSubscribers caps concurrent subscriptions per tenant
+	// (0 = unlimited).
+	TenantMaxSubscribers int
+	// TenantRate throttles delivered entries/s per tenant (0 =
+	// unlimited). A throttled writer falls behind and the shed policy
+	// takes over, so rate-limited tenants degrade like slow consumers.
+	TenantRate float64
+}
+
+// DefaultServerConfig returns the production defaults.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		QueueBound:   1024,
+		ShedPolicy:   ShedDropOldest,
+		Heartbeat:    time.Second,
+		BatchMax:     256,
+		WriteTimeout: 5 * time.Second,
+	}
+}
+
+// FanoutStats is the tier's counter surface, the fan-out analogue of
+// rdap.DispatchStats: delivery, queueing and shedding totals plus the
+// live registry shape.
+type FanoutStats struct {
+	Subscribers int // live subscriptions right now
+	Tenants     int // tenants ever seen
+	QueueDepth  int // entries queued across all subscribers, right now
+	MaxDepth    int // deepest per-subscriber backlog observed
+
+	Sessions       int64 // connections ever accepted
+	LegacySessions int64 // of which spoke the FROM/LIVE shim
+	Delivered      int64 // entries sent (DATA frames + legacy lines)
+	Batches        int64 // DATA frames sent
+	BytesOut       int64 // payload bytes written
+	Heartbeats     int64 // hb frames (and legacy blank lines) sent
+	Shed           int64 // entries evicted by drop-oldest shedding
+	Gaps           int64 // GAP frames emitted
+	EncodeDrops    int64 // entries lost to encoding failures (gap-marked)
+	Disconnects    int64 // subscribers cut by the disconnect shed policy
+}
+
+// Server is the multi-tenant pub/sub fan-out tier over one topic.
+type Server struct {
+	topic *stream.Topic
+	cfg   ServerConfig
+	reg   *registry
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	sessions       atomic.Int64
+	legacySessions atomic.Int64
+	delivered      atomic.Int64
+	batches        atomic.Int64
+	bytesOut       atomic.Int64
+	heartbeats     atomic.Int64
+	shed           atomic.Int64
+	gaps           atomic.Int64
+	encodeDrops    atomic.Int64
+	disconnects    atomic.Int64
+}
+
+// NewServer serves the given topic with default configuration.
+func NewServer(topic *stream.Topic) *Server {
+	return NewServerConfig(topic, DefaultServerConfig())
+}
+
+// NewServerConfig serves the given topic with explicit configuration;
+// zero fields take their defaults.
+func NewServerConfig(topic *stream.Topic, cfg ServerConfig) *Server {
+	def := DefaultServerConfig()
+	if cfg.QueueBound <= 0 {
+		cfg.QueueBound = def.QueueBound
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = def.Heartbeat
+	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = def.BatchMax
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = def.WriteTimeout
+	}
+	return &Server{
+		topic: topic,
+		cfg:   cfg,
+		reg:   newRegistry(cfg.TenantMaxSubscribers, cfg.TenantRate),
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Serve listens on addr, starts the fan-out pump, and returns the bound
+// address.
+func (s *Server) Serve(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	group := fmt.Sprintf("feed-fanout-%d", pumpNonce.Add(1))
+	s.topic.Commit(group, int64(s.topic.Len()))
+	s.wg.Add(2)
+	go s.pump(group)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+// Close stops the listener, terminates every live session, and waits for
+// the pump and all session goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	close(s.done)
+	s.mu.Unlock()
+
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.reg.closeAll(ErrServerClosed)
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Stats returns the tier's counters.
+func (s *Server) Stats() FanoutStats {
+	subs, queued, maxDepth := s.reg.count()
+	return FanoutStats{
+		Subscribers: subs,
+		Tenants:     s.reg.tenantCount(),
+		QueueDepth:  queued,
+		MaxDepth:    maxDepth,
+
+		Sessions:       s.sessions.Load(),
+		LegacySessions: s.legacySessions.Load(),
+		Delivered:      s.delivered.Load(),
+		Batches:        s.batches.Load(),
+		BytesOut:       s.bytesOut.Load(),
+		Heartbeats:     s.heartbeats.Load(),
+		Shed:           s.shed.Load(),
+		Gaps:           s.gaps.Load(),
+		EncodeDrops:    s.encodeDrops.Load(),
+		Disconnects:    s.disconnects.Load(),
+	}
+}
+
+// pump is the single topic consumer feeding every subscriber queue: one
+// consumer group for the whole tier, dropped on shutdown, in place of the
+// old one-leaked-group-per-connection design.
+func (s *Server) pump(group string) {
+	defer s.wg.Done()
+	consumer := stream.NewConsumer(s.topic, group, 4*s.cfg.BatchMax)
+	defer consumer.Close()
+	for {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		msgs, ok := consumer.WaitNext(200 * time.Millisecond)
+		if !ok {
+			continue
+		}
+		s.shed.Add(s.reg.broadcast(msgs))
+	}
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// frameWriter serializes all writes to one connection (command replies
+// and delivery frames interleave) behind a write deadline.
+type frameWriter struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	bw      *bufio.Writer
+	timeout time.Duration
+	bytes   *atomic.Int64
+}
+
+func (w *frameWriter) writeLine(line []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
+	if _, err := w.bw.Write(line); err != nil {
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	w.bytes.Add(int64(len(line)))
+	return nil
+}
+
+func (w *frameWriter) writeFrame(f *Frame) error {
+	line, err := encodeFrame(f)
+	if err != nil {
+		return err
+	}
+	return w.writeLine(line)
+}
+
+// session is one framed connection's state.
+type session struct {
+	srv    *Server
+	conn   net.Conn
+	w      *frameWriter
+	id     int64
+	tenant *tenant
+
+	// sub is the active subscription; nil between UNSUBSCRIBE and the
+	// next SUBSCRIBE. deliverWG tracks its delivery goroutine.
+	sub       *subscriber
+	deliverWG sync.WaitGroup
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	id := s.sessions.Add(1)
+
+	w := &frameWriter{conn: conn, bw: bufio.NewWriter(conn), timeout: s.cfg.WriteTimeout, bytes: &s.bytesOut}
+	r := bufio.NewReader(conn)
+	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	first, err := r.ReadString('\n')
+	if err != nil {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	sess := &session{srv: s, conn: conn, w: w, id: id}
+	defer sess.stopSubscription()
+
+	cmd, perr := parseCommand(first)
+	switch {
+	case perr != nil:
+		// Pre-session parse errors answer on both grammars: the framed
+		// error line doubles as the legacy {"error":...} response since
+		// legacy clients only check for a non-entry line. The session
+		// stays open for a corrected framed command.
+		if !sess.sendError(perr) {
+			return
+		}
+	case cmd.verb == "FROM" || cmd.verb == "LIVE":
+		s.legacySessions.Add(1)
+		sess.serveLegacy(cmd.from)
+		return
+	default:
+		if !sess.handle(cmd) {
+			return
+		}
+	}
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		cmd, perr := parseCommand(line)
+		if perr != nil {
+			if !sess.sendError(perr) {
+				return
+			}
+			continue
+		}
+		if !sess.handle(cmd) {
+			return
+		}
+	}
+}
+
+// sendError reports a protocol violation; false means the connection is
+// unusable.
+func (s *session) sendError(perr *protoError) bool {
+	return s.w.writeFrame(&Frame{Kind: FrameError, Code: perr.code, Reason: perr.msg}) == nil
+}
+
+// handle executes one command; false ends the session.
+func (s *session) handle(cmd command) bool {
+	switch cmd.verb {
+	case "HELLO":
+		if s.sub != nil {
+			return s.sendError(&protoError{CodeHelloAfterSub, "HELLO must precede SUBSCRIBE"})
+		}
+		s.tenant = s.srv.reg.tenant(cmd.tenant)
+		return s.w.writeFrame(&Frame{
+			Kind: FrameWelcome, Session: fmt.Sprintf("s%d", s.id),
+			Tenant: s.tenant.name, Head: int64(s.srv.topic.Len()),
+		}) == nil
+	case "SUBSCRIBE":
+		if s.sub != nil {
+			return s.sendError(&protoError{CodeAlreadySubscribed, "session already has a subscription"})
+		}
+		if s.tenant == nil {
+			s.tenant = s.srv.reg.tenant(DefaultTenant)
+		}
+		q := newSubQueue(s.srv.cfg.QueueBound, s.srv.cfg.ShedPolicy)
+		sub, perr := s.srv.reg.add(s.tenant, q)
+		if perr != nil {
+			return s.sendError(perr)
+		}
+		from := cmd.from
+		if from < 0 {
+			from = int64(s.srv.topic.Len())
+		}
+		if s.w.writeFrame(&Frame{Kind: FrameSubscribed, From: from, Head: int64(s.srv.topic.Len())}) != nil {
+			s.srv.reg.remove(sub)
+			return false
+		}
+		s.sub = sub
+		s.deliverWG.Add(1)
+		go func() {
+			defer s.deliverWG.Done()
+			s.deliver(sub, from, framedEncoder{})
+		}()
+		return true
+	case "UNSUBSCRIBE":
+		if s.sub == nil {
+			return s.sendError(&protoError{CodeNotSubscribed, "no active subscription"})
+		}
+		s.stopSubscription()
+		return true
+	default:
+		// FROM/LIVE mid-session: the shim only opens connections.
+		return s.sendError(&protoError{CodeBadCommand, "legacy " + cmd.verb + " must be the first line"})
+	}
+}
+
+// stopSubscription tears the active subscription down and waits for its
+// delivery goroutine.
+func (s *session) stopSubscription() {
+	if s.sub == nil {
+		return
+	}
+	s.sub.queue.close(nil)
+	s.deliverWG.Wait()
+	s.srv.reg.remove(s.sub)
+	s.sub = nil
+}
+
+// serveLegacy is the compatibility shim: the original one-request
+// protocol (FROM n / LIVE, then raw JSON entry lines with blank-line
+// heartbeats) served by the same registry, queue and shed machinery.
+func (s *session) serveLegacy(from int64) {
+	s.tenant = s.srv.reg.tenant(DefaultTenant)
+	q := newSubQueue(s.srv.cfg.QueueBound, s.srv.cfg.ShedPolicy)
+	sub, perr := s.srv.reg.add(s.tenant, q)
+	if perr != nil {
+		s.sendError(perr)
+		return
+	}
+	defer s.srv.reg.remove(sub)
+	if from < 0 {
+		from = int64(s.srv.topic.Len())
+	}
+	s.deliver(sub, from, legacyEncoder{})
+}
+
+// deliver is the per-subscriber delivery loop: catch-up replay straight
+// from the log, then live consumption from the bounded queue, with
+// heartbeats on idle and GAP frames for shed or undecodable ranges.
+// enc selects the framed or legacy wire encoding.
+func (s *session) deliver(sub *subscriber, from int64, enc wireEncoder) {
+	srv := s.srv
+	next := from
+	// Catch-up: read the log directly while the queue rejects offers, so
+	// a deep replay does not thrash the bounded queue.
+	if !s.replayLog(sub, &next, enc) {
+		return
+	}
+	sub.queue.goLive()
+	// Drain the publish window between the last empty read and goLive:
+	// those messages are in the log but were never offered.
+	if !s.replayLog(sub, &next, enc) {
+		return
+	}
+	var hbSeq int64
+	for {
+		msgs, gap, ok, reason := sub.queue.take(srv.cfg.Heartbeat)
+		if !ok {
+			switch {
+			case reason == nil:
+				enc.bye(s.w, "unsubscribe")
+			case errors.Is(reason, ErrSlowConsumer):
+				srv.disconnects.Add(1)
+				enc.errFrame(s.w, CodeSlowConsumer, "queue overflowed; reconnect with SUBSCRIBE FROM to resume")
+				s.conn.Close()
+			case errors.Is(reason, ErrServerClosed):
+				enc.bye(s.w, "shutdown")
+				s.conn.Close()
+			}
+			return
+		}
+		if gap != nil {
+			srv.gaps.Add(1)
+			if gap.From < next {
+				// The front of the evicted range was already delivered
+				// during catch-up; narrow the advertised hole.
+				gap.From = next
+				gap.Dropped = gap.To - gap.From + 1
+			}
+			if gap.Dropped > 0 {
+				if enc.gap(s.w, gap) != nil {
+					return
+				}
+			}
+			if gap.To+1 > next {
+				next = gap.To + 1
+			}
+		}
+		if len(msgs) == 0 {
+			hbSeq++
+			srv.heartbeats.Add(1)
+			if enc.heartbeat(s.w, hbSeq, int64(srv.topic.Len())) != nil {
+				return
+			}
+			continue
+		}
+		// Trim duplicates of the catch-up/race window.
+		for len(msgs) > 0 && msgs[0].Offset < next {
+			msgs = msgs[1:]
+		}
+		if len(msgs) == 0 {
+			continue
+		}
+		for start := 0; start < len(msgs); start += srv.cfg.BatchMax {
+			end := start + srv.cfg.BatchMax
+			if end > len(msgs) {
+				end = len(msgs)
+			}
+			if !s.sendData(sub, msgs[start:end], &next, enc) {
+				return
+			}
+		}
+	}
+}
+
+// replayLog streams the topic log from *next until caught up or the
+// queue is closed mid-replay (unsubscribe / shutdown cut a deep replay
+// short; the live loop's take then reports the closure); false means the
+// connection failed.
+func (s *session) replayLog(sub *subscriber, next *int64, enc wireEncoder) bool {
+	for !sub.queue.isClosed() {
+		batch := s.srv.topic.Read(*next, s.srv.cfg.BatchMax)
+		if len(batch) == 0 {
+			return true
+		}
+		if !s.sendData(sub, batch, next, enc) {
+			return false
+		}
+	}
+	return true
+}
+
+// sendData encodes one DATA batch, applying the tenant rate limit and
+// the encode-failure policy: an entry that cannot be marshalled is
+// dropped loudly — counted in Stats and covered by an in-order GAP
+// marker — never silently skipped.
+func (s *session) sendData(sub *subscriber, msgs []stream.Message, next *int64, enc wireEncoder) bool {
+	if d := sub.tenant.reserve(len(msgs), time.Now()); d > 0 {
+		time.Sleep(d)
+	}
+	entries := make([]Entry, 0, len(msgs))
+	for _, m := range msgs {
+		entries = append(entries, Entry{Offset: m.Offset, Time: m.Time, Domain: m.Key, Raw: string(m.Value)})
+	}
+	if !s.writeEntries(entries, enc) {
+		return false
+	}
+	*next = msgs[len(msgs)-1].Offset + 1
+	return true
+}
+
+// writeEntries sends entries as one DATA frame, falling back to
+// per-entry isolation when the batch fails to encode: good runs flush as
+// DATA frames and each undecodable entry becomes a GAP marker, all in
+// offset order so a client's resume cursor never moves backwards.
+func (s *session) writeEntries(entries []Entry, enc wireEncoder) bool {
+	srv := s.srv
+	send := func(run []Entry) bool {
+		if len(run) == 0 {
+			return true
+		}
+		if err := enc.data(s.w, run, run[len(run)-1].Offset+1); err != nil {
+			return false
+		}
+		srv.delivered.Add(int64(len(run)))
+		srv.batches.Add(1)
+		return true
+	}
+	err := enc.data(s.w, entries, entries[len(entries)-1].Offset+1)
+	if err == nil {
+		srv.delivered.Add(int64(len(entries)))
+		srv.batches.Add(1)
+		return true
+	}
+	var ee *encodeError
+	if !errors.As(err, &ee) {
+		return false // connection failure
+	}
+	run := entries[:0]
+	for _, e := range entries {
+		if _, merr := marshalEntry(e); merr != nil {
+			if !send(run) {
+				return false
+			}
+			run = run[:0]
+			srv.encodeDrops.Add(1)
+			srv.gaps.Add(1)
+			if enc.gap(s.w, &Gap{From: e.Offset, To: e.Offset, Dropped: 1, Reason: "encode"}) != nil {
+				return false
+			}
+			continue
+		}
+		run = append(run, e)
+	}
+	return send(run)
+}
+
+// wireEncoder abstracts the two wire dialects: the framed session
+// protocol and the legacy raw-JSON-lines shim.
+type wireEncoder interface {
+	data(w *frameWriter, entries []Entry, next int64) error
+	heartbeat(w *frameWriter, seq, head int64) error
+	gap(w *frameWriter, g *Gap) error
+	bye(w *frameWriter, reason string) error
+	errFrame(w *frameWriter, code, msg string) error
+}
+
+// encodeError distinguishes an entry that failed to marshal (recoverable
+// by per-entry isolation) from a connection failure.
+type encodeError struct{ err error }
+
+func (e *encodeError) Error() string { return "feed: encode entry: " + e.err.Error() }
+func (e *encodeError) Unwrap() error { return e.err }
+
+// marshalEntry is a seam for tests to inject encode failures; production
+// entries always marshal.
+var marshalEntry = func(e Entry) ([]byte, error) { return json.Marshal(e) }
+
+type framedEncoder struct{}
+
+// data assembles the DATA frame from per-entry marshals (the same seam
+// the legacy path uses), so one undecodable entry surfaces as an
+// encodeError instead of poisoning the whole frame silently.
+func (framedEncoder) data(w *frameWriter, entries []Entry, next int64) error {
+	var buf []byte
+	buf = append(buf, `{"frame":"data","entries":[`...)
+	for i, e := range entries {
+		raw, err := marshalEntry(e)
+		if err != nil {
+			return &encodeError{err}
+		}
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, raw...)
+	}
+	buf = append(buf, `],"next":`...)
+	buf = fmt.Appendf(buf, "%d}\n", next)
+	return w.writeLine(buf)
+}
+
+func (framedEncoder) heartbeat(w *frameWriter, seq, head int64) error {
+	return w.writeFrame(&Frame{Kind: FrameHeartbeat, Seq: seq, Head: head})
+}
+
+func (framedEncoder) gap(w *frameWriter, g *Gap) error {
+	return w.writeFrame(&Frame{Kind: FrameGap, Gap: g})
+}
+
+func (framedEncoder) bye(w *frameWriter, reason string) error {
+	return w.writeFrame(&Frame{Kind: FrameBye, Reason: reason})
+}
+
+func (framedEncoder) errFrame(w *frameWriter, code, msg string) error {
+	return w.writeFrame(&Frame{Kind: FrameError, Code: code, Reason: msg})
+}
+
+// legacyEncoder speaks the original protocol: one raw JSON entry per
+// line, a blank line as heartbeat. Gaps and byes have no legacy
+// representation — a shed legacy consumer simply misses the evicted
+// range, as the old server effectively did when it lost entries — but
+// both still count in Stats.
+type legacyEncoder struct{}
+
+func (legacyEncoder) data(w *frameWriter, entries []Entry, _ int64) error {
+	var buf []byte
+	for _, e := range entries {
+		line, err := marshalEntry(e)
+		if err != nil {
+			return &encodeError{err}
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	return w.writeLine(buf)
+}
+
+func (legacyEncoder) heartbeat(w *frameWriter, _, _ int64) error {
+	return w.writeLine([]byte{'\n'})
+}
+
+func (legacyEncoder) gap(*frameWriter, *Gap) error { return nil }
+
+func (legacyEncoder) bye(*frameWriter, string) error { return nil }
+
+func (legacyEncoder) errFrame(w *frameWriter, _, msg string) error {
+	return w.writeLine([]byte(fmt.Sprintf(`{"error":%q}`+"\n", msg)))
+}

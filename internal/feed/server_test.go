@@ -1,0 +1,706 @@
+package feed
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"darkdns/internal/stream"
+)
+
+// startFeedConfig is startFeed with explicit server configuration.
+func startFeedConfig(t *testing.T, cfg ServerConfig) (*stream.Topic, string, func()) {
+	t.Helper()
+	bus := stream.NewBus()
+	topic := bus.Topic("nrd-feed")
+	srv := NewServerConfig(topic, cfg)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopped := false
+	stop := func() {
+		if !stopped {
+			stopped = true
+			srv.Close()
+		}
+	}
+	t.Cleanup(stop)
+	return topic, addr.String(), stop
+}
+
+// --- Satellite: consumer-group lifecycle ---------------------------------
+
+// TestNoConsumerGroupLeak cycles many connections through both protocols
+// and asserts the topic's group map returns to its prior size: the old
+// server leaked one conn-<addr>-<nanos> group per connection forever.
+func TestNoConsumerGroupLeak(t *testing.T) {
+	bus := stream.NewBus()
+	topic := bus.Topic("nrd-feed")
+	before := len(topic.Groups())
+
+	srv := NewServer(topic)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topic.Publish(t0, "a.com", nil)
+	for i := 0; i < 100; i++ {
+		conn, r := rawSession(t, addr.String())
+		if i%2 == 0 {
+			fmt.Fprintf(conn, "FROM 0\n")
+		} else {
+			fmt.Fprintf(conn, "SUBSCRIBE FROM 0\n")
+		}
+		if _, err := r.ReadString('\n'); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		conn.Close()
+	}
+	// While serving, the only group is the tier's single fan-out pump.
+	if got := len(topic.Groups()); got != before+1 {
+		t.Errorf("groups while serving = %d (%v), want %d", got, topic.Groups(), before+1)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(topic.Groups()); got != before {
+		t.Errorf("groups after close = %d (%v), want %d", got, topic.Groups(), before)
+	}
+}
+
+// --- Satellite: Close actually stops the server --------------------------
+
+// TestCloseDrainsGoroutines serves live sessions, closes the server, and
+// asserts the goroutine count returns to its pre-Serve level.
+func TestCloseDrainsGoroutines(t *testing.T) {
+	bus := stream.NewBus()
+	topic := bus.Topic("nrd-feed")
+	for i := 0; i < 10; i++ {
+		topic.Publish(t0, fmt.Sprintf("d%d.com", i), nil)
+	}
+	before := runtime.NumGoroutine()
+
+	srv := NewServer(topic)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A mix of live sessions in every state: framed mid-delivery, framed
+	// idle, legacy tailing.
+	for i := 0; i < 8; i++ {
+		conn, r := rawSession(t, addr.String())
+		switch i % 3 {
+		case 0:
+			fmt.Fprintf(conn, "SUBSCRIBE FROM 0\n")
+		case 1:
+			fmt.Fprintf(conn, "HELLO t%d\n", i)
+		case 2:
+			fmt.Fprintf(conn, "LIVE\n")
+		}
+		if i%3 != 2 {
+			if _, err := r.ReadString('\n'); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close waits for the pump, acceptor, and all session goroutines;
+	// client-side dial goroutines may need a beat to unwind.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines: before=%d after=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Close is idempotent.
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestServeAfterCloseRefused covers the Serve/Close race guard.
+func TestServeAfterCloseRefused(t *testing.T) {
+	srv := NewServer(stream.NewBus().Topic("t"))
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Serve("127.0.0.1:0"); !errors.Is(err, ErrServerClosed) {
+		t.Errorf("Serve after Close = %v, want ErrServerClosed", err)
+	}
+}
+
+// --- Acceptance: fan-out determinism -------------------------------------
+
+// TestMultiSubscriberDeterminism subscribes many clients at the same
+// offset while the topic is still being published and asserts every one
+// observes the byte-identical entry sequence with no gaps.
+func TestMultiSubscriberDeterminism(t *testing.T) {
+	topic, addr, stop := startFeed(t)
+	defer stop()
+	const entries, subs = 300, 8
+	for i := 0; i < entries/2; i++ {
+		topic.Publish(t0.Add(time.Duration(i)*time.Second), fmt.Sprintf("d%d.com", i), []byte("{}"))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	type result struct {
+		id  int
+		seq string
+		err error
+	}
+	results := make(chan result, subs)
+	for s := 0; s < subs; s++ {
+		go func(id int) {
+			sub, err := NewClient(addr).Subscribe(ctx, SubscribeOptions{From: 0})
+			if err != nil {
+				results <- result{id: id, err: err}
+				return
+			}
+			defer sub.Close()
+			var b strings.Builder
+			n := 0
+			for ev := range sub.C {
+				switch ev.Kind {
+				case EventEntry:
+					fmt.Fprintf(&b, "%d:%s:%s;", ev.Entry.Offset, ev.Entry.Domain, ev.Entry.Time.Format(time.RFC3339))
+					n++
+				case EventGap:
+					fmt.Fprintf(&b, "GAP[%d-%d];", ev.Gap.From, ev.Gap.To)
+				}
+				if n == entries {
+					results <- result{id: id, seq: b.String()}
+					return
+				}
+			}
+			results <- result{id: id, err: fmt.Errorf("stream ended early: %v", sub.Err())}
+		}(s)
+	}
+	// Publish the second half while the subscribers are live.
+	for i := entries / 2; i < entries; i++ {
+		topic.Publish(t0.Add(time.Duration(i)*time.Second), fmt.Sprintf("d%d.com", i), []byte("{}"))
+	}
+	var first string
+	for i := 0; i < subs; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("subscriber %d: %v", r.id, r.err)
+		}
+		if first == "" {
+			first = r.seq
+		} else if r.seq != first {
+			t.Fatalf("subscriber %d sequence diverged:\n%s\nvs\n%s", r.id, r.seq, first)
+		}
+	}
+	if strings.Contains(first, "GAP") {
+		t.Fatalf("unshedded subscribers saw gaps: %s", first)
+	}
+}
+
+// --- Shedding ------------------------------------------------------------
+
+// TestQueueShedDeterministic is the slow-subscriber determinism check at
+// the queue level: a fixed bound and a fixed offer/take schedule produce
+// exactly the same delivered+GAP sequence every run.
+func TestQueueShedDeterministic(t *testing.T) {
+	run := func() string {
+		q := newSubQueue(4, ShedDropOldest)
+		q.goLive()
+		mk := func(lo, hi int64) []stream.Message {
+			var ms []stream.Message
+			for o := lo; o <= hi; o++ {
+				ms = append(ms, stream.Message{Offset: o})
+			}
+			return ms
+		}
+		var b strings.Builder
+		record := func() {
+			msgs, gap, ok, err := q.take(time.Millisecond)
+			if !ok || err != nil {
+				t.Fatalf("take: ok=%v err=%v", ok, err)
+			}
+			if gap != nil {
+				fmt.Fprintf(&b, "GAP[%d-%d:%d];", gap.From, gap.To, gap.Dropped)
+			}
+			for _, m := range msgs {
+				fmt.Fprintf(&b, "%d;", m.Offset)
+			}
+		}
+		q.offer(mk(0, 9)) // overflows: 0..5 shed, 6..9 kept
+		record()
+		q.offer(mk(10, 12)) // fits
+		record()
+		q.offer(mk(13, 29)) // overflows: 13..25 shed, 26..29 kept
+		q.offer(mk(30, 31)) // overflows again: 26..27 shed, merge into range
+		record()
+		return b.String()
+	}
+	want := "GAP[0-5:6];6;7;8;9;10;11;12;GAP[13-27:15];28;29;30;31;"
+	for i := 0; i < 3; i++ {
+		if got := run(); got != want {
+			t.Fatalf("run %d: got %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestQueueDisconnectPolicy(t *testing.T) {
+	q := newSubQueue(2, ShedDisconnect)
+	q.goLive()
+	q.offer([]stream.Message{{Offset: 0}, {Offset: 1}, {Offset: 2}})
+	if _, _, ok, err := q.take(time.Millisecond); ok || !errors.Is(err, ErrSlowConsumer) {
+		t.Fatalf("take after overflow: ok=%v err=%v, want closed with ErrSlowConsumer", ok, err)
+	}
+}
+
+// TestSlowSubscriberShedsWithGap drives a real session into shedding via
+// a tenant rate limit and asserts the delivery invariant: the union of
+// delivered offsets and advertised GAP ranges tiles the published range
+// with no silent holes.
+func TestSlowSubscriberShedsWithGap(t *testing.T) {
+	bus := stream.NewBus()
+	topic := bus.Topic("nrd-feed")
+	srv := NewServerConfig(topic, ServerConfig{
+		QueueBound: 8,
+		ShedPolicy: ShedDropOldest,
+		BatchMax:   8,
+		TenantRate: 200, // entries/s: throttles the writer so the queue overflows
+	})
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, r := rawSession(t, addr.String())
+	fmt.Fprintf(conn, "SUBSCRIBE\n")
+	if f := readFrameLine(t, r); f.Kind != FrameSubscribed {
+		t.Fatalf("subscribed = %+v", f)
+	}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		topic.Publish(t0, fmt.Sprintf("d%d.com", i), nil)
+	}
+
+	covered := make([]bool, n)
+	shedGaps := 0
+	var last int64 = -1
+	deadline := time.Now().Add(20 * time.Second)
+	for covered[n-1] == false && time.Now().Before(deadline) {
+		f := readFrameLine(t, r)
+		switch f.Kind {
+		case FrameData:
+			for _, e := range f.Entries {
+				if e.Offset <= last {
+					t.Fatalf("offset %d delivered after %d", e.Offset, last)
+				}
+				if e.Offset != last+1 {
+					t.Fatalf("silent hole: offset %d follows %d without a GAP", e.Offset, last)
+				}
+				covered[e.Offset] = true
+				last = e.Offset
+			}
+		case FrameGap:
+			if f.Gap == nil || f.Gap.Reason != "shed" {
+				t.Fatalf("gap frame = %+v", f)
+			}
+			if f.Gap.From != last+1 {
+				t.Fatalf("gap [%d-%d] does not continue from %d", f.Gap.From, f.Gap.To, last)
+			}
+			for o := f.Gap.From; o <= f.Gap.To; o++ {
+				covered[o] = true
+			}
+			last = f.Gap.To
+			shedGaps++
+		case FrameHeartbeat:
+		default:
+			t.Fatalf("unexpected frame %+v", f)
+		}
+	}
+	for o, c := range covered {
+		if !c {
+			t.Fatalf("offset %d neither delivered nor gap-marked", o)
+		}
+	}
+	if shedGaps == 0 {
+		t.Fatal("queue bound 8 with 2000 rapid entries never shed")
+	}
+	if st := srv.Stats(); st.Shed == 0 || st.Gaps == 0 {
+		t.Errorf("stats did not count shedding: %+v", st)
+	}
+}
+
+// TestDisconnectPolicyCutsSlowConsumer asserts the alternative shed
+// policy: overflow terminates the session with a structured
+// slow_consumer error frame.
+func TestDisconnectPolicyCutsSlowConsumer(t *testing.T) {
+	bus := stream.NewBus()
+	topic := bus.Topic("nrd-feed")
+	srv := NewServerConfig(topic, ServerConfig{
+		QueueBound: 4,
+		ShedPolicy: ShedDisconnect,
+		TenantRate: 50,
+	})
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, r := rawSession(t, addr.String())
+	fmt.Fprintf(conn, "SUBSCRIBE\n")
+	if f := readFrameLine(t, r); f.Kind != FrameSubscribed {
+		t.Fatalf("subscribed = %+v", f)
+	}
+	for i := 0; i < 500; i++ {
+		topic.Publish(t0, fmt.Sprintf("d%d.com", i), nil)
+	}
+	sawError := false
+	for !sawError {
+		f := readFrameLine(t, r)
+		if f.Kind == FrameError {
+			if f.Code != CodeSlowConsumer {
+				t.Fatalf("error code = %s, want %s", f.Code, CodeSlowConsumer)
+			}
+			sawError = true
+		}
+	}
+	if st := srv.Stats(); st.Disconnects != 1 {
+		t.Errorf("Disconnects = %d, want 1", st.Disconnects)
+	}
+}
+
+// --- Satellite: encode failures are gap-marked, not silent ---------------
+
+// TestEncodeFailureCountedAndGapMarked injects a marshal failure for one
+// entry: the subscriber must receive the surrounding entries plus an
+// explicit encode GAP, in offset order, and Stats must count the drop.
+// The old send loop's `continue` created an invisible hole instead.
+func TestEncodeFailureCountedAndGapMarked(t *testing.T) {
+	orig := marshalEntry
+	marshalEntry = func(e Entry) ([]byte, error) {
+		if e.Domain == "poison.com" {
+			return nil, errors.New("injected encode failure")
+		}
+		return orig(e)
+	}
+	defer func() { marshalEntry = orig }()
+
+	bus := stream.NewBus()
+	topic := bus.Topic("nrd-feed")
+	srv := NewServer(topic)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	topic.Publish(t0, "d0.com", nil)
+	topic.Publish(t0, "poison.com", nil)
+	topic.Publish(t0, "d2.com", nil)
+
+	conn, r := rawSession(t, addr.String())
+	fmt.Fprintf(conn, "SUBSCRIBE FROM 0\n")
+	if f := readFrameLine(t, r); f.Kind != FrameSubscribed {
+		t.Fatalf("subscribed = %+v", f)
+	}
+	var trace []string
+	for len(trace) < 3 {
+		f := readFrameLine(t, r)
+		switch f.Kind {
+		case FrameData:
+			for _, e := range f.Entries {
+				trace = append(trace, fmt.Sprintf("E%d", e.Offset))
+			}
+		case FrameGap:
+			trace = append(trace, fmt.Sprintf("G[%d-%d:%s]", f.Gap.From, f.Gap.To, f.Gap.Reason))
+		case FrameHeartbeat:
+		default:
+			t.Fatalf("unexpected frame %+v", f)
+		}
+	}
+	if got := strings.Join(trace, " "); got != "E0 G[1-1:encode] E2" {
+		t.Fatalf("delivery trace = %q, want \"E0 G[1-1:encode] E2\"", got)
+	}
+	if st := srv.Stats(); st.EncodeDrops != 1 {
+		t.Errorf("EncodeDrops = %d, want 1", st.EncodeDrops)
+	}
+}
+
+// --- Tenancy -------------------------------------------------------------
+
+func TestTenantSubscriberCap(t *testing.T) {
+	topic, addr, stop := startFeedConfig(t, ServerConfig{TenantMaxSubscribers: 1})
+	defer stop()
+	topic.Publish(t0, "a.com", nil)
+
+	conn1, r1 := rawSession(t, addr)
+	fmt.Fprintf(conn1, "HELLO acme\nSUBSCRIBE\n")
+	if f := readFrameLine(t, r1); f.Kind != FrameWelcome {
+		t.Fatalf("welcome = %+v", f)
+	}
+	if f := readFrameLine(t, r1); f.Kind != FrameSubscribed {
+		t.Fatalf("subscribed = %+v", f)
+	}
+
+	conn2, r2 := rawSession(t, addr)
+	fmt.Fprintf(conn2, "HELLO acme\nSUBSCRIBE\n")
+	if f := readFrameLine(t, r2); f.Kind != FrameWelcome {
+		t.Fatalf("welcome = %+v", f)
+	}
+	if f := readFrameLine(t, r2); f.Kind != FrameError || f.Code != CodeTenantLimit {
+		t.Fatalf("second acme subscription answered %+v, want %s", f, CodeTenantLimit)
+	}
+	// Another tenant is unaffected; the capped session can re-HELLO.
+	fmt.Fprintf(conn2, "HELLO beta\nSUBSCRIBE\n")
+	if f := readFrameLine(t, r2); f.Kind != FrameWelcome || f.Tenant != "beta" {
+		t.Fatalf("re-HELLO = %+v", f)
+	}
+	if f := readFrameLine(t, r2); f.Kind != FrameSubscribed {
+		t.Fatalf("beta subscribe = %+v", f)
+	}
+	// Unsubscribing releases the cap.
+	fmt.Fprintf(conn1, "UNSUBSCRIBE\n")
+	for {
+		if f := readFrameLine(t, r1); f.Kind == FrameBye {
+			break
+		}
+	}
+	conn3, r3 := rawSession(t, addr)
+	fmt.Fprintf(conn3, "HELLO acme\nSUBSCRIBE\n")
+	if f := readFrameLine(t, r3); f.Kind != FrameWelcome {
+		t.Fatalf("welcome = %+v", f)
+	}
+	if f := readFrameLine(t, r3); f.Kind != FrameSubscribed {
+		t.Fatalf("acme after release = %+v", f)
+	}
+}
+
+// --- Client: Subscribe / auto-resume -------------------------------------
+
+// TestSubscribeDeliversEntriesAndOffsets covers the new client surface.
+func TestSubscribeDeliversEntriesAndOffsets(t *testing.T) {
+	topic, addr, stop := startFeed(t)
+	defer stop()
+	for i := 0; i < 5; i++ {
+		topic.Publish(t0, fmt.Sprintf("d%d.com", i), nil)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	sub, err := NewClient(addr).Subscribe(ctx, SubscribeOptions{Tenant: "acme", From: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	var got []int64
+	for ev := range sub.C {
+		if ev.Kind == EventEntry {
+			got = append(got, ev.Entry.Offset)
+		}
+		if len(got) == 3 {
+			break
+		}
+	}
+	if len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Fatalf("offsets = %v", got)
+	}
+	if sub.NextOffset() != 5 {
+		t.Errorf("NextOffset = %d, want 5", sub.NextOffset())
+	}
+}
+
+// TestSubscribeRejectsProtocolError asserts server-side rejections
+// surface from Subscribe synchronously.
+func TestSubscribeRejectsProtocolError(t *testing.T) {
+	topic, addr, stop := startFeedConfig(t, ServerConfig{TenantMaxSubscribers: 1})
+	defer stop()
+	_ = topic
+	ctx := context.Background()
+	first, err := NewClient(addr).Subscribe(ctx, SubscribeOptions{Tenant: "acme", From: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	_, err = NewClient(addr).Subscribe(ctx, SubscribeOptions{Tenant: "acme", From: -1})
+	if err == nil || !strings.Contains(err.Error(), CodeTenantLimit) {
+		t.Fatalf("second subscribe err = %v, want %s", err, CodeTenantLimit)
+	}
+}
+
+// TestClientAutoResume kills the server mid-stream, restarts it on the
+// same address, and asserts the subscription resumes from the last
+// delivered offset with no loss or duplication.
+func TestClientAutoResume(t *testing.T) {
+	bus := stream.NewBus()
+	topic := bus.Topic("nrd-feed")
+	srv1 := NewServer(topic)
+	addr, err := srv1.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		topic.Publish(t0, fmt.Sprintf("d%d.com", i), nil)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	sub, err := NewClient(addr.String()).Subscribe(ctx, SubscribeOptions{
+		From:              0,
+		AutoResume:        true,
+		ResumeBackoff:     20 * time.Millisecond,
+		MaxResumeAttempts: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	var offsets []int64
+	resumes := 0
+	collect := func(n int) {
+		t.Helper()
+		for len(offsets) < n {
+			ev, ok := <-sub.C
+			if !ok {
+				t.Fatalf("stream ended early (%v); got %v", sub.Err(), offsets)
+			}
+			switch ev.Kind {
+			case EventEntry:
+				offsets = append(offsets, ev.Entry.Offset)
+			case EventResumed:
+				resumes++
+			case EventGap:
+				t.Fatalf("unexpected gap %+v", ev.Gap)
+			}
+		}
+	}
+	collect(5)
+
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer(topic)
+	if _, err := srv2.Serve(addr.String()); err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	for i := 5; i < 10; i++ {
+		topic.Publish(t0, fmt.Sprintf("d%d.com", i), nil)
+	}
+	collect(10)
+
+	for i, off := range offsets {
+		if off != int64(i) {
+			t.Fatalf("offsets = %v: position %d is %d (loss or duplication across resume)", offsets, i, off)
+		}
+	}
+	if resumes == 0 {
+		t.Error("no EventResumed observed across the restart")
+	}
+}
+
+// TestStreamShimStopsOnCancelAndReplays keeps the deprecated Stream
+// surface pinned to its historical contract on top of Subscribe.
+func TestStreamShimStopsOnCancelAndReplays(t *testing.T) {
+	topic, addr, stop := startFeed(t)
+	defer stop()
+	topic.Publish(t0, "a.com", nil)
+	topic.Publish(t0, "b.com", nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var got []string
+	done := make(chan error, 1)
+	go func() {
+		done <- NewClient(addr).Stream(ctx, 0, func(e Entry) {
+			got = append(got, e.Domain)
+			if len(got) == 2 {
+				cancel()
+			}
+		})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrStopped) {
+			t.Errorf("Stream returned %v, want ErrStopped", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stream did not stop")
+	}
+	if len(got) != 2 || got[0] != "a.com" {
+		t.Errorf("replayed %v", got)
+	}
+}
+
+// TestStatsSurface sanity-checks the counter surface end to end.
+func TestStatsSurface(t *testing.T) {
+	bus := stream.NewBus()
+	topic := bus.Topic("nrd-feed")
+	srv := NewServer(topic)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for i := 0; i < 10; i++ {
+		topic.Publish(t0, fmt.Sprintf("d%d.com", i), nil)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	sub, err := NewClient(addr.String()).Subscribe(ctx, SubscribeOptions{Tenant: "acme", From: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	n := 0
+	for ev := range sub.C {
+		if ev.Kind == EventEntry {
+			if n++; n == 10 {
+				break
+			}
+		}
+	}
+	st := srv.Stats()
+	if st.Subscribers != 1 || st.Sessions != 1 || st.Tenants != 1 {
+		t.Errorf("registry shape: %+v", st)
+	}
+	if st.Delivered != 10 || st.Batches == 0 || st.BytesOut == 0 {
+		t.Errorf("delivery counters: %+v", st)
+	}
+	sub.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Subscribers != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriber not deregistered: %+v", srv.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestParseShedPolicy(t *testing.T) {
+	if p, err := ParseShedPolicy("drop-oldest"); err != nil || p != ShedDropOldest {
+		t.Errorf("drop-oldest: %v %v", p, err)
+	}
+	if p, err := ParseShedPolicy(""); err != nil || p != ShedDropOldest {
+		t.Errorf("default: %v %v", p, err)
+	}
+	if p, err := ParseShedPolicy("disconnect"); err != nil || p != ShedDisconnect {
+		t.Errorf("disconnect: %v %v", p, err)
+	}
+	if _, err := ParseShedPolicy("yolo"); err == nil {
+		t.Error("bad policy accepted")
+	}
+	if ShedDropOldest.String() != "drop-oldest" || ShedDisconnect.String() != "disconnect" {
+		t.Error("String() names drifted")
+	}
+}

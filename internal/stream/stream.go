@@ -216,6 +216,48 @@ func (t *Topic) Commit(group string, next int64) {
 	t.mu.Unlock()
 }
 
+// Drop removes group's committed offset. Per-connection consumer groups
+// must be dropped on disconnect or they accumulate in the topic forever
+// (the feed-server leak this API was added to fix). Dropping an unknown
+// group is a no-op.
+func (t *Topic) Drop(group string) {
+	t.mu.Lock()
+	delete(t.groups, group)
+	t.mu.Unlock()
+}
+
+// Groups returns the registered consumer-group names in sorted order.
+func (t *Topic) Groups() []string {
+	t.mu.Lock()
+	names := make([]string, 0, len(t.groups))
+	for g := range t.groups {
+		names = append(names, g)
+	}
+	t.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// Read returns up to max messages starting at offset from, independent of
+// any consumer group — the replay path for subscribers that track their
+// own position (the feed tier's catch-up reads). A from past the head
+// returns nil; a negative from reads from the beginning.
+func (t *Topic) Read(from int64, max int) []Message {
+	if from < 0 {
+		from = 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if from >= int64(len(t.log)) || max <= 0 {
+		return nil
+	}
+	end := from + int64(max)
+	if end > int64(len(t.log)) {
+		end = int64(len(t.log))
+	}
+	return t.log[from:end]
+}
+
 // Committed returns the group's committed offset.
 func (t *Topic) Committed(group string) int64 {
 	t.mu.Lock()
@@ -270,6 +312,14 @@ func NewConsumer(topic *Topic, group string, batch int) *Consumer {
 		batch = 1
 	}
 	return &Consumer{topic: topic, group: group, batch: batch}
+}
+
+// Close drops the consumer's group from the topic. Call it when the
+// consumer is ephemeral (one group per connection) so the topic's group
+// map does not grow without bound. The consumer must not be used after
+// Close; a subsequent Poll would restart from offset zero.
+func (c *Consumer) Close() {
+	c.topic.Drop(c.group)
 }
 
 // Next returns the next batch and commits it. ok is false when caught up.

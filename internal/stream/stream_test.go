@@ -303,3 +303,65 @@ func BenchmarkConsumeBatch1(b *testing.B) {
 		c.Drain(func(Message) {})
 	}
 }
+
+func TestDropRemovesGroup(t *testing.T) {
+	topic := newTopic("t")
+	topic.Publish(now, "a", nil)
+	topic.Commit("g1", 1)
+	topic.Commit("g2", 1)
+	if got := topic.Groups(); len(got) != 2 {
+		t.Fatalf("groups = %v, want 2", got)
+	}
+	topic.Drop("g1")
+	if got := topic.Groups(); len(got) != 1 || got[0] != "g2" {
+		t.Errorf("groups after drop = %v, want [g2]", got)
+	}
+	topic.Drop("never-registered") // no-op
+	if got := topic.Groups(); len(got) != 1 {
+		t.Errorf("groups after no-op drop = %v", got)
+	}
+	// A dropped group restarts from zero, like any unknown group.
+	if off := topic.Committed("g1"); off != 0 {
+		t.Errorf("dropped group committed = %d, want 0", off)
+	}
+}
+
+func TestConsumerCloseDropsItsGroup(t *testing.T) {
+	topic := newTopic("t")
+	topic.Publish(now, "a", nil)
+	c := NewConsumer(topic, "conn-1", 8)
+	if _, ok := c.Next(); !ok {
+		t.Fatal("no batch")
+	}
+	if got := topic.Groups(); len(got) != 1 {
+		t.Fatalf("groups = %v", got)
+	}
+	c.Close()
+	if got := topic.Groups(); len(got) != 0 {
+		t.Errorf("groups after Close = %v, want none", got)
+	}
+}
+
+func TestReadIsGroupless(t *testing.T) {
+	topic := newTopic("t")
+	for i := 0; i < 5; i++ {
+		topic.Publish(now, fmt.Sprintf("k%d", i), nil)
+	}
+	msgs := topic.Read(2, 2)
+	if len(msgs) != 2 || msgs[0].Offset != 2 || msgs[1].Offset != 3 {
+		t.Fatalf("Read(2,2) = %+v", msgs)
+	}
+	if msgs := topic.Read(-7, 3); len(msgs) != 3 || msgs[0].Offset != 0 {
+		t.Errorf("negative from should clamp to 0: %+v", msgs)
+	}
+	if msgs := topic.Read(5, 10); msgs != nil {
+		t.Errorf("Read past head = %+v, want nil", msgs)
+	}
+	if msgs := topic.Read(0, 0); msgs != nil {
+		t.Errorf("Read with max 0 = %+v, want nil", msgs)
+	}
+	// Read leaves group state untouched.
+	if got := topic.Groups(); len(got) != 0 {
+		t.Errorf("Read registered groups: %v", got)
+	}
+}
