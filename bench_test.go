@@ -414,6 +414,54 @@ func BenchmarkSimBatchedRun(b *testing.B) {
 	}
 }
 
+// benchSimTaggedTimeline loads a Sim with n effect-tagged events at n
+// distinct instants, one domain atom each — the shape the lookahead
+// drain exploits: masks across neighbouring timestamps are (mostly)
+// disjoint, so a window of them fires in one pooled round where the
+// serial drain takes n rounds. Each event carries the same CPU slab as
+// benchSimTimeline.
+func benchSimTaggedTimeline(s *simclock.Sim, n int, sink *[1]uint64) {
+	base := time.Date(2023, 11, 1, 0, 0, 0, 0, time.UTC)
+	entries := make([]simclock.TaggedTimed, n)
+	for i := 0; i < n; i++ {
+		i := i
+		entries[i] = simclock.TaggedTimed{
+			At:  base.Add(time.Duration(i) * time.Second),
+			Tag: simclock.DomainTag(benchName(i) + ".shop"),
+			Fn: func(time.Time) {
+				h := uint64(i)
+				for k := 0; k < 512; k++ {
+					h = (h ^ uint64(k)) * 0x100000001b3
+				}
+				if h == 0 {
+					sink[0]++ // defeats dead-code elimination; never taken
+				}
+			},
+		}
+	}
+	s.ScheduleBatchTagged(entries)
+}
+
+// BenchmarkLookaheadRun measures the lookahead drain (the seventh
+// engine): window=1 exercises the tagged machinery without ever crossing
+// timestamps, window=8 pools effect-disjoint events from up to eight
+// instants into one concurrent round. One op = one event; the acceptance
+// comparison against BenchmarkSimSerialRun tracks what cross-timestamp
+// speculation buys on a spread-instant timeline.
+func BenchmarkLookaheadRun(b *testing.B) {
+	for _, window := range []int{1, 8} {
+		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
+			var sink [1]uint64
+			s := simclock.NewSim(time.Date(2023, 11, 1, 0, 0, 0, 0, time.UTC))
+			benchSimTaggedTimeline(s, b.N, &sink)
+			b.ResetTimer()
+			if s.RunLookahead(window, runtime.GOMAXPROCS(0)) != b.N {
+				b.Fatal("lost events")
+			}
+		})
+	}
+}
+
 // benchWorldConfig is a paper-shape (full multi-TLD plan mix) world
 // sized so one build lays out ≈10^5 registrations — big enough that the
 // compile phase dominates, small enough for bench smoke runs.
@@ -598,7 +646,7 @@ func BenchmarkProbeBatchParallel(b *testing.B) {
 // real TCP at offset 0 before the timer starts. The entries/s metric is
 // total deliveries (publishes × subscribers) per second — the fan-out
 // throughput BENCH_ci.json tracks across the 1/8/64 subscriber ladder.
-func benchFeedFanout(b *testing.B, subs int) {
+func benchFeedFanout(b *testing.B, subs int) feed.FanoutStats {
 	bus := stream.NewBus()
 	topic := bus.Topic("bench-feed")
 	// A deep queue keeps the benchmark shed-free so every subscriber
@@ -651,6 +699,7 @@ func benchFeedFanout(b *testing.B, subs int) {
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(delivered.Load())/secs, "entries/s")
 	}
+	return srv.Stats()
 }
 
 // BenchmarkFeedFanout runs the fan-out ladder the feed tier's acceptance
@@ -662,6 +711,17 @@ func BenchmarkFeedFanout(b *testing.B) {
 			benchFeedFanout(b, subs)
 		})
 	}
+}
+
+// BenchmarkFeedFanoutCachedEncode measures the pump-warmed shared encode
+// cache on the fan-out shape that motivates it: every subscriber replays
+// the identical entry stream, so after the pump's first marshal of each
+// offset, every per-subscriber DATA write is a frozen-bytes copy. The
+// hits/op metric is encode-cache hits per published entry (≈ subscriber
+// count while the cache holds the live window).
+func BenchmarkFeedFanoutCachedEncode(b *testing.B) {
+	st := benchFeedFanout(b, 8)
+	b.ReportMetric(float64(st.EncodeCacheHits)/float64(b.N), "hits/op")
 }
 
 func benchName(i int) string {

@@ -97,8 +97,8 @@ func main() {
 			fmt.Println("shutting down")
 			srv.Close()
 			st := srv.Stats()
-			fmt.Printf("served %d sessions (%d legacy): %d entries in %d batches, %d bytes, %d shed, %d gaps, %d encode drops\n",
-				st.Sessions, st.LegacySessions, st.Delivered, st.Batches, st.BytesOut, st.Shed, st.Gaps, st.EncodeDrops)
+			fmt.Printf("served %d sessions (%d legacy): %d entries in %d batches, %d bytes, %d shed, %d gaps, %d encode drops, %d encode cache hits\n",
+				st.Sessions, st.LegacySessions, st.Delivered, st.Batches, st.BytesOut, st.Shed, st.Gaps, st.EncodeDrops, st.EncodeCacheHits)
 			w.Stop()
 			return
 		}

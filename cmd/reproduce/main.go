@@ -29,6 +29,7 @@ func main() {
 	ingestWorkers := flag.Int("ingest-workers", 0, "pipeline ingest mode: 0 = per-event, ≥1 = batched with this screening pool width (byte-identical output either way)")
 	rdapWorkers := flag.Int("rdap-workers", 0, "RDAP dispatch mode: 0 = serial lookups, ≥1 = async per-TLD queues drained by this worker pool width (byte-identical output either way)")
 	clockWorkers := flag.Int("clock-workers", 0, "event engine drain mode: 0 = serial event loop, ≥1 = batch-fire same-timestamp events through this worker pool width (byte-identical output either way)")
+	lookaheadWindow := flag.Int("lookahead-window", 0, "optimistic lookahead drain: 0 = off, ≥1 = fire effect-tagged events from up to this many distinct future timestamps per round, disjoint conflict groups in parallel (byte-identical output either way)")
 	buildWorkers := flag.Int("build-workers", 0, "world builder compile mode: 0 = serial layout, ≥1 = compile per-TLD layouts on this worker pool width (byte-identical output either way)")
 	commitWorkers := flag.Int("commit-workers", 0, "world builder commit mode: 0 = serial install, ≥1 = commit compiled layouts on this worker pool width (byte-identical output either way)")
 	probeWorkers := flag.Int("probe-workers", 0, "fleet probe mode: 0 = per-domain calls, ≥1 = submit each round as this many probe batches through the shared exchange layer (byte-identical output either way)")
@@ -37,13 +38,14 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write figure CSVs for external plotting")
 	flag.Parse()
 
-	fmt.Fprintf(os.Stderr, "building world (scale=%g, weeks=%d, seed=%d, build-workers=%d, commit-workers=%d, ingest-workers=%d, rdap-workers=%d, clock-workers=%d, probe-workers=%d)…\n",
-		*scale, *weeks, *seed, *buildWorkers, *commitWorkers, *ingestWorkers, *rdapWorkers, *clockWorkers, *probeWorkers)
+	fmt.Fprintf(os.Stderr, "building world (scale=%g, weeks=%d, seed=%d, build-workers=%d, commit-workers=%d, ingest-workers=%d, rdap-workers=%d, clock-workers=%d, lookahead-window=%d, probe-workers=%d)…\n",
+		*scale, *weeks, *seed, *buildWorkers, *commitWorkers, *ingestWorkers, *rdapWorkers, *clockWorkers, *lookaheadWindow, *probeWorkers)
 	start := time.Now()
 	res := analysis.Run(analysis.RunConfig{
 		Seed: *seed, Scale: *scale, Weeks: *weeks, WatchSampleRate: *watch, ProbeMail: true,
 		IngestWorkers: *ingestWorkers, RDAPWorkers: *rdapWorkers, ClockWorkers: *clockWorkers,
-		BuildWorkers: *buildWorkers, CommitWorkers: *commitWorkers,
+		LookaheadWindow: *lookaheadWindow,
+		BuildWorkers:    *buildWorkers, CommitWorkers: *commitWorkers,
 		ProbeWorkers: *probeWorkers, ProbeCadence: *probeCadence,
 	})
 	fmt.Fprintf(os.Stderr, "simulation complete in %v: %d candidates, %d transient lower bound\n",

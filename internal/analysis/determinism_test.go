@@ -5,6 +5,59 @@ import (
 	"testing"
 )
 
+// TestSerialLookaheadCampaignsIdentical: the acceptance bar for the
+// optimistic lookahead engine — a fixed-seed campaign must render
+// byte-identical evaluation reports under the serial drain and under
+// RunLookahead at window 1, 4 and 16, alone and stacked with all six
+// prior engines. A window ≥ 4 run must also actually speculate: the
+// engine's speculative-fire counter (events fired at a timestamp beyond
+// their window's first instant) has to be positive, proving events from
+// at least two distinct timestamps fired in one round.
+func TestSerialLookaheadCampaignsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("five full campaigns")
+	}
+	base := RunConfig{Seed: 61, Scale: 0.0008, Weeks: 2, WatchSampleRate: 1.0, ProbeMail: true}
+	render := func(cfg RunConfig) ([]byte, *Results) {
+		r := Run(cfg)
+		var buf bytes.Buffer
+		if err := WriteReport(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), r
+	}
+	serial, _ := render(base)
+	for _, cfg := range []RunConfig{
+		{LookaheadWindow: 1},
+		{LookaheadWindow: 4},
+		{LookaheadWindow: 16},
+		{LookaheadWindow: 16, ClockWorkers: 8, ProbeWorkers: 8, CommitWorkers: 8,
+			BuildWorkers: 8, RDAPWorkers: 8, IngestWorkers: 8},
+	} {
+		run := base
+		run.LookaheadWindow = cfg.LookaheadWindow
+		run.ClockWorkers = cfg.ClockWorkers
+		run.ProbeWorkers = cfg.ProbeWorkers
+		run.CommitWorkers = cfg.CommitWorkers
+		run.BuildWorkers = cfg.BuildWorkers
+		run.RDAPWorkers = cfg.RDAPWorkers
+		run.IngestWorkers = cfg.IngestWorkers
+		got, res := render(run)
+		if !bytes.Equal(serial, got) {
+			t.Errorf("lookahead-window=%d (stacked=%v) report diverges from serial",
+				cfg.LookaheadWindow, cfg.IngestWorkers > 0)
+		}
+		st := res.World.Clock.Stats()
+		if cfg.LookaheadWindow >= 4 && st.SpecFired == 0 {
+			t.Errorf("lookahead-window=%d: SpecFired = 0, want > 0 (no cross-timestamp firing happened)",
+				cfg.LookaheadWindow)
+		}
+		if cfg.LookaheadWindow >= 4 && st.Windows == 0 {
+			t.Errorf("lookahead-window=%d: Windows = 0, want > 0", cfg.LookaheadWindow)
+		}
+	}
+}
+
 // TestCampaignDeterminism: identical run configurations must produce
 // byte-identical evaluation reports — the property that makes every
 // number in EXPERIMENTS.md reproducible.

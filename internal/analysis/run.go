@@ -55,6 +55,15 @@ type RunConfig struct {
 	// completion barrier. Campaign reports are byte-identical across 0,
 	// 1 and N workers (the engine's determinism contract).
 	ClockWorkers int
+	// LookaheadWindow, when ≥ 1, drains the campaign through the
+	// optimistic lookahead engine (Sim.RunLookahead) instead of the
+	// barrier drains: up to this many distinct future timestamps of
+	// effect-tagged events are popped per round and their disjoint
+	// conflict groups fired concurrently on a pool ClockWorkers wide
+	// (minimum 1). Untagged events and tag conflicts degrade to the
+	// usual barriers, so campaign reports stay byte-identical across
+	// window widths — including window 0, the serial path.
+	LookaheadWindow int
 	// BuildWorkers selects the world builder's compile fan-out: 0 lays
 	// per-TLD layouts out serially on the caller, ≥1 compiles them on a
 	// worker pool this wide before the serial commit installs them in
@@ -131,7 +140,13 @@ func Run(cfg RunConfig) *Results {
 	} else {
 		p.Start(w.Hub)
 	}
-	if cfg.ClockWorkers > 0 {
+	if cfg.LookaheadWindow > 0 {
+		workers := cfg.ClockWorkers
+		if workers < 1 {
+			workers = 1
+		}
+		w.RunLookahead(cfg.LookaheadWindow, workers)
+	} else if cfg.ClockWorkers > 0 {
 		w.RunBatched(cfg.ClockWorkers)
 	} else {
 		w.Run()

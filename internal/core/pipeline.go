@@ -179,14 +179,18 @@ type candShard struct {
 
 // Pipeline is the DarkDNS measurement pipeline.
 type Pipeline struct {
-	cfg   Config
-	clk   simclock.Clock
-	psl   *psl.List
-	zones *czds.Service
-	rdapQ rdap.Querier
-	rdapD *rdap.Dispatcher // non-nil when cfg.RDAPWorkers > 0
-	fleet *measure.Fleet
-	seed  int64
+	cfg Config
+	clk simclock.Clock
+	// tagClk is clk's effect-tagged extension, resolved once; nil on
+	// clocks without lookahead support (every schedule then stays
+	// untagged, which is always safe).
+	tagClk simclock.TagScheduler
+	psl    *psl.List
+	zones  *czds.Service
+	rdapQ  rdap.Querier
+	rdapD  *rdap.Dispatcher // non-nil when cfg.RDAPWorkers > 0
+	fleet  *measure.Fleet
+	seed   int64
 
 	feed *stream.Topic
 
@@ -224,6 +228,7 @@ func New(cfg Config, clk simclock.Clock, pslList *psl.List, zones *czds.Service,
 		cfg: cfg, clk: clk, psl: pslList, zones: zones, rdapQ: rdapQ,
 		fleet: fleet, seed: seed,
 	}
+	p.tagClk, _ = clk.(simclock.TagScheduler)
 	if cfg.RDAPWorkers > 0 {
 		p.rdapD = rdap.NewDispatcher(rdap.DispatcherConfig{
 			Workers:    cfg.RDAPWorkers,
@@ -470,9 +475,20 @@ func (p *Pipeline) dispatch(cand *Candidate) (q rdap.Query, ok bool) {
 			Domain:        cand.Domain,
 			Delay:         delay,
 			InjectFailure: fail,
-			Done:          func(rec *rdap.Record, err error) { p.finishRDAP(cand, rec, err) },
+			DoneAt:        func(rec *rdap.Record, err error, at time.Time) { p.finishRDAPAt(cand, rec, err, at) },
 		}
 		ok = true
+	} else if qa, isAt := p.rdapQ.(rdap.QuerierAt); isAt && p.tagClk != nil {
+		// Serial-path RDAP with a time-explicit backend: effect-tag the
+		// step-2 timer with the candidate's domain atom, so the lookahead
+		// drain may fire RDAP lookups of unrelated domains from different
+		// instants together. The lookup reads only this domain's registry
+		// slice and writes only this candidate's shard entry.
+		p.tagClk.ScheduleTagged(simclock.TaggedTimed{
+			At:  p.clk.Now().Add(delay),
+			Tag: simclock.DomainTag(cand.Domain),
+			Fn:  func(now time.Time) { p.collectRDAPAt(cand, fail, now, qa) },
+		})
 	} else {
 		p.clk.After(delay, func() { p.collectRDAP(cand, fail) })
 	}
@@ -504,12 +520,28 @@ func (p *Pipeline) collectRDAP(cand *Candidate, injectedFailure bool) {
 	p.finishRDAP(cand, rec, err)
 }
 
+// collectRDAPAt is collectRDAP fired from an effect-tagged timer: the
+// lookup and the outcome stamp both use the event's own instant.
+func (p *Pipeline) collectRDAPAt(cand *Candidate, injectedFailure bool, now time.Time, qa rdap.QuerierAt) {
+	if injectedFailure {
+		p.finishRDAPAt(cand, nil, rdap.ErrRateLimited, now)
+		return
+	}
+	rec, err := qa.DomainAt(context.Background(), cand.Domain, now)
+	p.finishRDAPAt(cand, rec, err, now)
+}
+
 // finishRDAP records a step-2 outcome — delivered synchronously by
 // collectRDAP or asynchronously by a dispatch worker — and runs the
 // step 4 validation. Safe for concurrent use: outcomes for distinct
 // candidates land on their own store stripes.
 func (p *Pipeline) finishRDAP(cand *Candidate, rec *rdap.Record, err error) {
-	now := p.clk.Now()
+	p.finishRDAPAt(cand, rec, err, p.clk.Now())
+}
+
+// finishRDAPAt is finishRDAP with the completion instant passed
+// explicitly (tagged events must not read the clock).
+func (p *Pipeline) finishRDAPAt(cand *Candidate, rec *rdap.Record, err error, now time.Time) {
 	sh := p.shard(cand.Domain)
 	sh.mu.Lock()
 	cand.RDAPAt = now

@@ -67,16 +67,17 @@ type FanoutStats struct {
 	QueueDepth  int // entries queued across all subscribers, right now
 	MaxDepth    int // deepest per-subscriber backlog observed
 
-	Sessions       int64 // connections ever accepted
-	LegacySessions int64 // of which spoke the FROM/LIVE shim
-	Delivered      int64 // entries sent (DATA frames + legacy lines)
-	Batches        int64 // DATA frames sent
-	BytesOut       int64 // payload bytes written
-	Heartbeats     int64 // hb frames (and legacy blank lines) sent
-	Shed           int64 // entries evicted by drop-oldest shedding
-	Gaps           int64 // GAP frames emitted
-	EncodeDrops    int64 // entries lost to encoding failures (gap-marked)
-	Disconnects    int64 // subscribers cut by the disconnect shed policy
+	Sessions        int64 // connections ever accepted
+	LegacySessions  int64 // of which spoke the FROM/LIVE shim
+	Delivered       int64 // entries sent (DATA frames + legacy lines)
+	Batches         int64 // DATA frames sent
+	BytesOut        int64 // payload bytes written
+	Heartbeats      int64 // hb frames (and legacy blank lines) sent
+	Shed            int64 // entries evicted by drop-oldest shedding
+	Gaps            int64 // GAP frames emitted
+	EncodeDrops     int64 // entries lost to encoding failures (gap-marked)
+	EncodeCacheHits int64 // DATA entry marshals served from the shared encode cache
+	Disconnects     int64 // subscribers cut by the disconnect shed policy
 }
 
 // Server is the multi-tenant pub/sub fan-out tier over one topic.
@@ -84,6 +85,7 @@ type Server struct {
 	topic *stream.Topic
 	cfg   ServerConfig
 	reg   *registry
+	enc   *encodeCache
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -92,16 +94,17 @@ type Server struct {
 	done   chan struct{}
 	wg     sync.WaitGroup
 
-	sessions       atomic.Int64
-	legacySessions atomic.Int64
-	delivered      atomic.Int64
-	batches        atomic.Int64
-	bytesOut       atomic.Int64
-	heartbeats     atomic.Int64
-	shed           atomic.Int64
-	gaps           atomic.Int64
-	encodeDrops    atomic.Int64
-	disconnects    atomic.Int64
+	sessions        atomic.Int64
+	legacySessions  atomic.Int64
+	delivered       atomic.Int64
+	batches         atomic.Int64
+	bytesOut        atomic.Int64
+	heartbeats      atomic.Int64
+	shed            atomic.Int64
+	gaps            atomic.Int64
+	encodeDrops     atomic.Int64
+	encodeCacheHits atomic.Int64
+	disconnects     atomic.Int64
 }
 
 // NewServer serves the given topic with default configuration.
@@ -129,6 +132,7 @@ func NewServerConfig(topic *stream.Topic, cfg ServerConfig) *Server {
 		topic: topic,
 		cfg:   cfg,
 		reg:   newRegistry(cfg.TenantMaxSubscribers, cfg.TenantRate),
+		enc:   newEncodeCache(4 * cfg.BatchMax),
 		conns: make(map[net.Conn]struct{}),
 		done:  make(chan struct{}),
 	}
@@ -195,16 +199,17 @@ func (s *Server) Stats() FanoutStats {
 		QueueDepth:  queued,
 		MaxDepth:    maxDepth,
 
-		Sessions:       s.sessions.Load(),
-		LegacySessions: s.legacySessions.Load(),
-		Delivered:      s.delivered.Load(),
-		Batches:        s.batches.Load(),
-		BytesOut:       s.bytesOut.Load(),
-		Heartbeats:     s.heartbeats.Load(),
-		Shed:           s.shed.Load(),
-		Gaps:           s.gaps.Load(),
-		EncodeDrops:    s.encodeDrops.Load(),
-		Disconnects:    s.disconnects.Load(),
+		Sessions:        s.sessions.Load(),
+		LegacySessions:  s.legacySessions.Load(),
+		Delivered:       s.delivered.Load(),
+		Batches:         s.batches.Load(),
+		BytesOut:        s.bytesOut.Load(),
+		Heartbeats:      s.heartbeats.Load(),
+		Shed:            s.shed.Load(),
+		Gaps:            s.gaps.Load(),
+		EncodeDrops:     s.encodeDrops.Load(),
+		EncodeCacheHits: s.encodeCacheHits.Load(),
+		Disconnects:     s.disconnects.Load(),
 	}
 }
 
@@ -224,6 +229,13 @@ func (s *Server) pump(group string) {
 		msgs, ok := consumer.WaitNext(200 * time.Millisecond)
 		if !ok {
 			continue
+		}
+		// Warm the shared encode cache once per message before fan-out:
+		// N same-offset subscriber deliveries then reuse the frozen bytes
+		// instead of marshalling N times. Failures are left uncached so
+		// the per-entry isolation path still surfaces them per delivery.
+		for _, m := range msgs {
+			s.encodeEntry(Entry{Offset: m.Offset, Time: m.Time, Domain: m.Key, Raw: string(m.Value)})
 		}
 		s.shed.Add(s.reg.broadcast(msgs))
 	}
@@ -396,7 +408,7 @@ func (s *session) handle(cmd command) bool {
 		s.deliverWG.Add(1)
 		go func() {
 			defer s.deliverWG.Done()
-			s.deliver(sub, from, framedEncoder{})
+			s.deliver(sub, from, framedEncoder{srv: s.srv})
 		}()
 		return true
 	case "UNSUBSCRIBE":
@@ -438,7 +450,7 @@ func (s *session) serveLegacy(from int64) {
 	if from < 0 {
 		from = int64(s.srv.topic.Len())
 	}
-	s.deliver(sub, from, legacyEncoder{})
+	s.deliver(sub, from, legacyEncoder{srv: s.srv})
 }
 
 // deliver is the per-subscriber delivery loop: catch-up replay straight
@@ -585,7 +597,7 @@ func (s *session) writeEntries(entries []Entry, enc wireEncoder) bool {
 	}
 	run := entries[:0]
 	for _, e := range entries {
-		if _, merr := marshalEntry(e); merr != nil {
+		if _, merr := srv.encodeEntry(e); merr != nil {
 			if !send(run) {
 				return false
 			}
@@ -623,16 +635,80 @@ func (e *encodeError) Unwrap() error { return e.err }
 // entries always marshal.
 var marshalEntry = func(e Entry) ([]byte, error) { return json.Marshal(e) }
 
-type framedEncoder struct{}
+// encodeCache memoizes marshalled DATA entries by topic offset: the pump
+// marshals each live entry once and every same-offset subscriber
+// delivery reuses the frozen bytes. Only successful marshals are cached,
+// so the encode-failure isolation path always re-probes (and keeps
+// failing on) poisoned entries. Bounded FIFO sized to the live fan-out
+// window: deep catch-up replay misses and marshals on its own.
+type encodeCache struct {
+	mu    sync.Mutex
+	byOff map[int64][]byte
+	fifo  []int64
+	bound int
+}
+
+func newEncodeCache(bound int) *encodeCache {
+	return &encodeCache{byOff: make(map[int64][]byte, bound), bound: bound}
+}
+
+func (c *encodeCache) get(off int64) ([]byte, bool) {
+	c.mu.Lock()
+	raw, ok := c.byOff[off]
+	c.mu.Unlock()
+	return raw, ok
+}
+
+func (c *encodeCache) put(off int64, raw []byte) {
+	c.mu.Lock()
+	if _, dup := c.byOff[off]; !dup {
+		for len(c.fifo) >= c.bound {
+			delete(c.byOff, c.fifo[0])
+			c.fifo = c.fifo[1:]
+		}
+		c.byOff[off] = raw
+		c.fifo = append(c.fifo, off)
+	}
+	c.mu.Unlock()
+}
+
+// encodeEntry marshals e through the shared per-offset cache: a hit
+// returns the frozen bytes marshalled by the pump (or an earlier
+// subscriber); a miss marshals and, on success, freezes the result for
+// the next same-offset delivery.
+func (s *Server) encodeEntry(e Entry) ([]byte, error) {
+	if raw, ok := s.enc.get(e.Offset); ok {
+		s.encodeCacheHits.Add(1)
+		return raw, nil
+	}
+	raw, err := marshalEntry(e)
+	if err != nil {
+		return nil, err
+	}
+	s.enc.put(e.Offset, raw)
+	return raw, nil
+}
+
+// encodeVia routes an encoder's per-entry marshal through its server's
+// shared cache, falling back to a direct marshal for a zero-value
+// encoder (tests that exercise the wire dialects standalone).
+func encodeVia(srv *Server, e Entry) ([]byte, error) {
+	if srv == nil {
+		return marshalEntry(e)
+	}
+	return srv.encodeEntry(e)
+}
+
+type framedEncoder struct{ srv *Server }
 
 // data assembles the DATA frame from per-entry marshals (the same seam
 // the legacy path uses), so one undecodable entry surfaces as an
 // encodeError instead of poisoning the whole frame silently.
-func (framedEncoder) data(w *frameWriter, entries []Entry, next int64) error {
+func (enc framedEncoder) data(w *frameWriter, entries []Entry, next int64) error {
 	var buf []byte
 	buf = append(buf, `{"frame":"data","entries":[`...)
 	for i, e := range entries {
-		raw, err := marshalEntry(e)
+		raw, err := encodeVia(enc.srv, e)
 		if err != nil {
 			return &encodeError{err}
 		}
@@ -667,12 +743,12 @@ func (framedEncoder) errFrame(w *frameWriter, code, msg string) error {
 // representation — a shed legacy consumer simply misses the evicted
 // range, as the old server effectively did when it lost entries — but
 // both still count in Stats.
-type legacyEncoder struct{}
+type legacyEncoder struct{ srv *Server }
 
-func (legacyEncoder) data(w *frameWriter, entries []Entry, _ int64) error {
+func (enc legacyEncoder) data(w *frameWriter, entries []Entry, _ int64) error {
 	var buf []byte
 	for _, e := range entries {
-		line, err := marshalEntry(e)
+		line, err := encodeVia(enc.srv, e)
 		if err != nil {
 			return &encodeError{err}
 		}

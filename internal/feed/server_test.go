@@ -704,3 +704,58 @@ func TestParseShedPolicy(t *testing.T) {
 		t.Error("String() names drifted")
 	}
 }
+
+// --- Satellite: shared encode cache --------------------------------------
+
+// TestEncodeCacheHitsAcrossSubscribers publishes with the pump running,
+// then replays the log through two same-offset subscribers: the pump's
+// warm pass marshals each entry once and every subsequent same-offset
+// delivery must come from the frozen bytes, counted in
+// Stats().EncodeCacheHits.
+func TestEncodeCacheHitsAcrossSubscribers(t *testing.T) {
+	bus := stream.NewBus()
+	topic := bus.Topic("nrd-feed")
+	srv := NewServerConfig(topic, ServerConfig{})
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const entries = 50
+	for i := 0; i < entries; i++ {
+		topic.Publish(t0.Add(time.Duration(i)*time.Second), fmt.Sprintf("d%d.com", i), []byte("{}"))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	drain := func() {
+		sub, err := NewClient(addr.String()).Subscribe(ctx, SubscribeOptions{From: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sub.Close()
+		n := 0
+		for ev := range sub.C {
+			if ev.Kind == EventEntry {
+				if n++; n == entries {
+					return
+				}
+			}
+		}
+		t.Fatalf("stream ended after %d entries: %v", n, sub.Err())
+	}
+	drain()
+	afterFirst := srv.Stats().EncodeCacheHits
+	drain()
+	afterSecond := srv.Stats().EncodeCacheHits
+
+	// The pump warmed every offset before either replay, so each replay
+	// is all hits; at minimum the second same-offset pass must be.
+	if afterFirst < entries {
+		t.Errorf("hits after first replay = %d, want ≥ %d (pump-warmed)", afterFirst, entries)
+	}
+	if afterSecond-afterFirst < entries {
+		t.Errorf("hits after second replay = %d (Δ%d), want Δ ≥ %d", afterSecond, afterSecond-afterFirst, entries)
+	}
+}

@@ -173,7 +173,19 @@ type watchShard struct {
 type Fleet struct {
 	cfg     Config
 	clk     simclock.Clock
+	tagClk  simclock.TagScheduler // clk's effect-tagged extension; nil without lookahead support
 	backend Backend
+
+	// watchMask is the union of every watched domain's effect atom
+	// (simclock.DomainTag), OR-accumulated at admission and never
+	// cleared. Round events are tagged with this mask via a TagAt
+	// closure, so the lookahead drain sees exactly which state a round
+	// may touch at the instant the round is considered for speculation.
+	// Monotone growth is the conservative direction: a retired watch's
+	// atom lingering in the mask can only cause a spurious conflict,
+	// never a missed one. Probe reads against registries are keyed by
+	// domain, so two events with disjoint masks commute.
+	watchMask atomic.Uint64
 
 	shards  [watchShards]watchShard
 	nextSeq atomic.Int64 // watch admissions: ordering + worker assignment
@@ -222,6 +234,7 @@ func NewFleet(cfg Config, clk simclock.Clock, backend Backend) *Fleet {
 		cfg.Window = 48 * time.Hour
 	}
 	f := &Fleet{cfg: cfg, clk: clk, backend: backend}
+	f.tagClk, _ = clk.(simclock.TagScheduler)
 	for i := range f.shards {
 		f.shards[i].states = make(map[string]*DomainState)
 	}
@@ -254,6 +267,7 @@ func (f *Fleet) OnObservation(fn func(Observation)) {
 // ride the fleet's coalesced rounds.
 func (f *Fleet) Watch(domain string) {
 	domain = dnsname.Canonical(domain)
+	now := f.clk.Now()
 	sh := f.shard(domain)
 	sh.mu.Lock()
 	if _, ok := sh.states[domain]; ok {
@@ -262,31 +276,44 @@ func (f *Fleet) Watch(domain string) {
 	}
 	st := &DomainState{
 		Domain:  domain,
-		Started: f.clk.Now(),
+		Started: now,
 		worker:  int(f.nextSeq.Add(1)-1) % f.cfg.Workers,
 	}
 	sh.states[domain] = st
 	sh.mu.Unlock()
 	f.active.Add(1)
+	atom := uint64(simclock.DomainTag(domain))
+	for {
+		old := f.watchMask.Load()
+		if old&atom == atom || f.watchMask.CompareAndSwap(old, old|atom) {
+			break
+		}
+	}
 
 	// The admission probe fires before the state joins watchList: under
 	// the real-time clock a round on the timer goroutine could otherwise
 	// snapshot the list mid-admission and probe the same state
 	// concurrently. Under a Sim clock Watch runs inside a clock event,
 	// so the ordering is unobservable there.
-	f.probeRound([]*DomainState{st})
+	f.probeRound([]*DomainState{st}, now)
 	f.watchMu.Lock()
 	f.watchList = append(f.watchList, st)
 	f.watchMu.Unlock()
-	f.armRound()
+	f.armRound(now)
 }
 
 // armRound schedules the next coalesced probe round while any watch is
 // active: one clock event per interval serves every due domain, which is
 // what collapses the fleet's event count from probes to rounds. When the
 // last watch retires the chain disarms, so a fully-drained clock stays
-// drained.
-func (f *Fleet) armRound() {
+// drained. now is the caller's own instant (its firing time under a Sim
+// clock), never re-read from the clock — round events fire speculatively
+// under the lookahead drain, where Clock.Now lags at the last barrier.
+//
+// On a tag-scheduling clock the round event carries the live watch mask
+// via a TagAt closure: the mask is read at scan time, not arm time, so
+// watches admitted between arming and firing are still covered.
+func (f *Fleet) armRound(now time.Time) {
 	f.roundMu.Lock()
 	if f.armed || f.active.Load() == 0 {
 		f.roundMu.Unlock()
@@ -294,23 +321,54 @@ func (f *Fleet) armRound() {
 	}
 	f.armed = true
 	f.roundMu.Unlock()
-	f.clk.After(f.cfg.Interval, f.round)
+	if f.tagClk != nil {
+		f.tagClk.ScheduleTagged(simclock.TaggedTimed{
+			At:    now.Add(f.cfg.Interval),
+			TagAt: func() simclock.EffectTag { return simclock.EffectTag(f.watchMask.Load()) },
+			Fn:    f.round,
+		})
+		return
+	}
+	f.clk.After(f.cfg.Interval, func() { f.round(f.clk.Now()) })
 }
 
 // round is the per-interval clock event: snapshot the active watch set,
-// probe it as one batch, re-arm while work remains.
-func (f *Fleet) round() {
+// probe it as one batch, re-arm while work remains. now is the event's
+// firing instant, passed by the scheduler (time-explicit contract).
+func (f *Fleet) round(now time.Time) {
 	f.roundMu.Lock()
 	f.armed = false
 	f.roundMu.Unlock()
 
-	targets := f.dueTargets(f.clk.Now())
+	targets := f.dueTargets(now)
 	if len(targets) > 0 {
 		f.rounds.Add(1)
 		workpool.AtomicMax(&f.maxRound, int64(len(targets)))
-		f.probeRound(targets)
+		f.probeRound(targets, now)
 	}
-	f.armRound()
+	f.retireElapsed(now.Add(f.cfg.Interval))
+	f.armRound(now)
+}
+
+// retireElapsed applies the next round's retirement predicate one
+// interval early: any watch whose window will have elapsed by next is
+// retired now, instead of arming one more round event whose only work
+// would be that retirement. The predicate is exactly what dueTargets
+// would evaluate at the next round's instant before probing, so no probe
+// is ever skipped — the trailing, probe-free round event simply never
+// exists, and a campaign's final event leaves the clock drained.
+func (f *Fleet) retireElapsed(next time.Time) {
+	f.watchMu.Lock()
+	defer f.watchMu.Unlock()
+	for _, st := range f.watchList {
+		sh := f.shard(st.Domain)
+		sh.mu.Lock()
+		if !st.Finished && next.Sub(st.Started) > f.cfg.Window {
+			st.Finished = true
+			f.active.Add(-1)
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // dueTargets snapshots the active watch set, retiring watches whose
@@ -358,11 +416,10 @@ type roundResult struct {
 // order, the order the per-domain scheduler produced; probe width
 // therefore never reorders an observable, and campaigns stay
 // byte-identical across serial and batched probe modes and clock drains.
-func (f *Fleet) probeRound(targets []*DomainState) {
+func (f *Fleet) probeRound(targets []*DomainState, now time.Time) {
 	if len(targets) == 0 {
 		return
 	}
-	now := f.clk.Now()
 	results := make([]roundResult, len(targets))
 	mb, hasMail := f.backend.(MailBackend)
 	probeMail := f.cfg.ProbeMail && hasMail

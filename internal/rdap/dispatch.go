@@ -48,6 +48,23 @@ type Query struct {
 	// dispatch worker, or synchronously from Enqueue when the TLD queue
 	// sheds the query — and must not block.
 	Done func(*Record, error)
+	// DoneAt, when set, is preferred over Done and additionally receives
+	// the completion instant. Under a lookahead-draining clock the
+	// dispatcher's due-timers are effect-tagged and may fire ahead of
+	// committed time; DoneAt callers get the event's own instant where a
+	// Done callback would have to read the (lagging) clock.
+	DoneAt func(*Record, error, time.Time)
+}
+
+// finish reports the outcome through DoneAt or Done.
+func (q *Query) finish(rec *Record, err error, now time.Time) {
+	if q.DoneAt != nil {
+		q.DoneAt(rec, err, now)
+		return
+	}
+	if q.Done != nil {
+		q.Done(rec, err)
+	}
 }
 
 // DomainBatch is a set of queries enqueued together, the batch-oriented
@@ -104,6 +121,13 @@ type Dispatcher struct {
 	cfg     DispatcherConfig
 	clk     simclock.Clock
 	backend Querier
+	// backendAt is backend's time-explicit extension, resolved once at
+	// construction. Non-nil enables effect-tagged due-timers: the
+	// lookahead drain may then fire this dispatcher's queries ahead of
+	// committed time, with the query evaluated at the event's own instant.
+	// Wire backends (Client) leave it nil and every due-timer stays an
+	// untagged barrier — always safe.
+	backendAt QuerierAt
 
 	// tlds is the queue directory: copy-on-write so the enqueue hot path
 	// resolves its queue without locking (mirroring Mux routing).
@@ -124,7 +148,9 @@ func NewDispatcher(cfg DispatcherConfig, clk simclock.Clock, backend Querier) *D
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
-	return &Dispatcher{cfg: cfg, clk: clk, backend: backend}
+	d := &Dispatcher{cfg: cfg, clk: clk, backend: backend}
+	d.backendAt, _ = backend.(QuerierAt)
+	return d
 }
 
 // queue resolves (or creates) the dispatch queue for tld.
@@ -156,9 +182,7 @@ func (d *Dispatcher) Enqueue(q Query) bool {
 		tq.shed++
 		tq.mu.Unlock()
 		d.shed.Add(1)
-		if q.Done != nil {
-			q.Done(nil, ErrRateLimited)
-		}
+		q.finish(nil, ErrRateLimited, d.clk.Now())
 		return false
 	}
 	tq.pending++
@@ -170,16 +194,32 @@ func (d *Dispatcher) Enqueue(q Query) bool {
 
 	pq := pendingQuery{Query: q, at: d.clk.Now(), fail: q.InjectFailure || d.injectFail(domain)}
 	pq.Domain = domain
-	// The due-timer is parallel-marked: queries sharing an instant are
-	// commutative (per-query outcomes derive from (seed, domain) and the
-	// frozen simulated time; counters are sums), so a batched clock drain
-	// may fire a whole cohort of due-timers concurrently.
-	simclock.AfterPar(d.clk, q.Delay, func() {
+	fire := func(now time.Time) {
 		tq.mu.Lock()
 		tq.ready = append(tq.ready, pq)
 		tq.mu.Unlock()
-		d.drain(tq)
-	})
+		d.drain(tq, now)
+	}
+	// The due-timer is parallel-marked: queries sharing an instant are
+	// commutative (per-query outcomes derive from (seed, domain) and the
+	// frozen simulated time; counters are sums), so a batched clock drain
+	// may fire a whole cohort of due-timers concurrently. With a
+	// time-explicit backend the timer is additionally effect-tagged —
+	// the domain's atom (the query reads that domain's registry slice,
+	// which its lifecycle events mutate) plus the TLD's dispatch lane
+	// (every same-TLD due-timer mutates this tldQueue, so they serialize
+	// against each other) — letting the lookahead drain fire due-timers
+	// of unrelated domains from different instants together.
+	if ts, ok := d.clk.(simclock.TagScheduler); ok && d.backendAt != nil {
+		ts.ScheduleTagged(simclock.TaggedTimed{
+			At:  pq.at.Add(q.Delay),
+			Tag: simclock.DomainTag(domain) | simclock.LaneTag("rdap/"+dnsname.TLD(domain)),
+			Par: true,
+			Fn:  fire,
+		})
+	} else {
+		simclock.AfterPar(d.clk, q.Delay, func() { fire(d.clk.Now()) })
+	}
 	return true
 }
 
@@ -197,8 +237,10 @@ func (d *Dispatcher) EnqueueBatch(batch DomainBatch) int {
 
 // drain executes due queries for one TLD until its ready queue is empty
 // or the in-flight cap is saturated (in which case the drain holding the
-// capacity picks the remainder up when it loops).
-func (d *Dispatcher) drain(tq *tldQueue) {
+// capacity picks the remainder up when it loops). now is the draining
+// event's instant, passed explicitly because tagged due-timers may fire
+// ahead of the clock's committed time.
+func (d *Dispatcher) drain(tq *tldQueue, now time.Time) {
 	for {
 		tq.mu.Lock()
 		n := len(tq.ready)
@@ -217,9 +259,8 @@ func (d *Dispatcher) drain(tq *tldQueue) {
 		tq.inflight += n
 		tq.mu.Unlock()
 
-		d.execute(batch)
+		d.execute(batch, now)
 
-		now := d.clk.Now()
 		tq.mu.Lock()
 		tq.inflight -= n
 		tq.pending -= n
@@ -236,16 +277,20 @@ func (d *Dispatcher) drain(tq *tldQueue) {
 // complete. The barrier is what keeps parallel dispatch deterministic
 // under the simulated clock: every query in the round observes the same
 // instant, and no clock event fires mid-round.
-func (d *Dispatcher) execute(batch []pendingQuery) {
+func (d *Dispatcher) execute(batch []pendingQuery, now time.Time) {
 	run := func(pq pendingQuery) {
 		if pq.fail {
 			d.failed.Add(1)
-			if pq.Done != nil {
-				pq.Done(nil, ErrRateLimited)
-			}
+			pq.finish(nil, ErrRateLimited, now)
 			return
 		}
-		rec, err := d.backend.Domain(context.Background(), pq.Domain)
+		var rec *Record
+		var err error
+		if d.backendAt != nil {
+			rec, err = d.backendAt.DomainAt(context.Background(), pq.Domain, now)
+		} else {
+			rec, err = d.backend.Domain(context.Background(), pq.Domain)
+		}
 		// ErrNotFound/ErrNotSynced are ordinary RDAP answers (the
 		// too-late and too-early outcomes the pipeline classifies, and
 		// the primary signal for transients); only rate limiting and
@@ -253,9 +298,7 @@ func (d *Dispatcher) execute(batch []pendingQuery) {
 		if err != nil && !errors.Is(err, ErrNotFound) && !errors.Is(err, ErrNotSynced) {
 			d.failed.Add(1)
 		}
-		if pq.Done != nil {
-			pq.Done(rec, err)
-		}
+		pq.finish(rec, err, now)
 	}
 	workpool.Run(len(batch), d.cfg.Workers, func(j int) { run(batch[j]) })
 }

@@ -168,8 +168,17 @@ func (r *Registry) Subscribe(fn SnapshotFunc) {
 	r.mu.Unlock()
 }
 
-// Register creates a new active registration.
+// Register creates a new active registration stamped at the clock's
+// current instant.
 func (r *Registry) Register(domain, registrar string, ns []string, web netip.Addr) (*Registration, error) {
+	return r.RegisterAt(domain, registrar, ns, web, r.clk.Now())
+}
+
+// RegisterAt creates a new active registration stamped at an explicit
+// instant — the time-explicit variant effect-tagged lifecycle events
+// use, since under the lookahead drain the clock may still sit at an
+// earlier barrier when the event fires.
+func (r *Registry) RegisterAt(domain, registrar string, ns []string, web netip.Addr, at time.Time) (*Registration, error) {
 	domain = dnsname.Canonical(domain)
 	if dnsname.TLD(domain) != r.cfg.TLD || dnsname.CountLabels(domain) != dnsname.CountLabels(r.cfg.TLD)+1 {
 		return nil, fmt.Errorf("%w: %s under %s", ErrWrongZone, domain, r.cfg.TLD)
@@ -182,7 +191,7 @@ func (r *Registry) Register(domain, registrar string, ns []string, web netip.Add
 	reg := &Registration{
 		Domain:    domain,
 		Registrar: registrar,
-		Created:   r.clk.Now(),
+		Created:   at,
 		NS:        append([]string(nil), ns...),
 		WebAddr:   web,
 	}
@@ -193,6 +202,12 @@ func (r *Registry) Register(domain, registrar string, ns []string, web netip.Add
 
 // Delete removes an active registration (registrar takedown, §4.3).
 func (r *Registry) Delete(domain string) error {
+	return r.DeleteAt(domain, r.clk.Now())
+}
+
+// DeleteAt removes an active registration stamped at an explicit
+// instant (see RegisterAt).
+func (r *Registry) DeleteAt(domain string, at time.Time) error {
 	domain = dnsname.Canonical(domain)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -200,7 +215,7 @@ func (r *Registry) Delete(domain string) error {
 	if len(regs) == 0 || !regs[len(regs)-1].Deleted.IsZero() {
 		return fmt.Errorf("%w: %s", ErrNotFound, domain)
 	}
-	regs[len(regs)-1].Deleted = r.clk.Now()
+	regs[len(regs)-1].Deleted = at
 	r.pending[domain] = pendingOp{del: true}
 	return nil
 }
@@ -338,8 +353,15 @@ var RDAPErrNotSynced = errors.New("registry: rdap data not yet synced")
 // to propagate. Deleted domains stop being served once deleted (the "we
 // were too late" failure mode).
 func (r *Registry) RDAPLookup(domain string) (*Registration, error) {
+	return r.RDAPLookupAt(domain, r.clk.Now())
+}
+
+// RDAPLookupAt is RDAPLookup evaluated at an explicit instant — the
+// time-explicit variant tagged RDAP due-timer events query through, so
+// sync-delay and deleted-visibility cutoffs see the event's own instant
+// rather than the lookahead drain's lagging committed time.
+func (r *Registry) RDAPLookupAt(domain string, now time.Time) (*Registration, error) {
 	domain = dnsname.Canonical(domain)
-	now := r.clk.Now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	regs := r.ledger[domain]

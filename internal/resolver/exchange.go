@@ -273,7 +273,12 @@ func (u *UDPExchanger) exchangeAttempt(ctx context.Context, wire []byte, id uint
 		return nil, fmt.Errorf("%w: %v", ErrDial, err)
 	}
 	timeoutCh := make(chan struct{}, 1)
-	u.clock().After(u.timeout(), func() { timeoutCh <- struct{}{} })
+	// The timeout timer's only effect is this attempt's channel, so it is
+	// tagged with the nameserver's lane atom: under the lookahead drain,
+	// attempt timeouts against distinct servers may fire from different
+	// instants concurrently, while same-server timers stay ordered.
+	simclock.AfterTagged(u.clock(), u.timeout(), simclock.LaneTag("resolver/"+u.Addr),
+		func(time.Time) { timeoutCh <- struct{}{} })
 	select {
 	case resp, ok := <-ch:
 		if !ok {

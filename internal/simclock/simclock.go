@@ -120,6 +120,18 @@ type Sim struct {
 	coalesced atomic.Int64
 	rounds    atomic.Int64
 	maxBatch  atomic.Int64
+
+	// Lookahead drain counters (lookahead.go).
+	windows   atomic.Int64
+	specFired atomic.Int64
+	conflicts atomic.Int64
+	barriers  atomic.Int64
+
+	// laGroups is the currently-firing lookahead window's conflict
+	// groups (guarded by mu; nil outside fireWindow). pushEvent routes
+	// in-window tagged spawns to a matching group so they fire at their
+	// serial position instead of being jumped over.
+	laGroups []*laGroup
 }
 
 // NewSim returns a simulated clock starting at the given instant.
@@ -318,7 +330,7 @@ func (s *Sim) drain(deadlineOf func(time.Time) (time.Time, bool), batched bool, 
 			}
 			s.now = ev.at
 			s.mu.Unlock()
-			ev.fn()
+			ev.fire()
 			s.fired.Add(1)
 			fired++
 		}
@@ -343,7 +355,7 @@ func (s *Sim) fireGroup(group []*event, workers int) {
 	}
 	for i := 0; i < len(group); {
 		if workers <= 1 || !group[i].par {
-			group[i].fn()
+			group[i].fire()
 			i++
 			continue
 		}
@@ -352,7 +364,7 @@ func (s *Sim) fireGroup(group []*event, workers int) {
 			j++
 		}
 		run := group[i:j]
-		workpool.Run(len(run), workers, func(k int) { run[k].fn() })
+		workpool.Run(len(run), workers, func(k int) { run[k].fire() })
 		i = j
 	}
 	s.fired.Add(int64(len(group)))
@@ -369,6 +381,17 @@ type Stats struct {
 	Rounds    int64 // batched groups fired
 	MaxBatch  int   // widest same-instant group fired
 	Pending   int   // scheduled but not yet fired, right now
+
+	// Lookahead drain counters (RunLookahead). A window is one
+	// cross-timestamp round; SpecFired counts events fired at an instant
+	// later than their window's first timestamp; Conflicts counts tagged
+	// events whose mask intersected an existing conflict group (they
+	// joined it as an in-group ordering barrier); Barriers counts untagged
+	// events the drain had to fire as classic full-stop rounds.
+	Windows   int64
+	SpecFired int64
+	Conflicts int64
+	Barriers  int64
 }
 
 // Stats returns the engine counters. Safe to call concurrently with
@@ -384,6 +407,10 @@ func (s *Sim) Stats() Stats {
 		Rounds:    s.rounds.Load(),
 		MaxBatch:  int(s.maxBatch.Load()),
 		Pending:   pending,
+		Windows:   s.windows.Load(),
+		SpecFired: s.specFired.Load(),
+		Conflicts: s.conflicts.Load(),
+		Barriers:  s.barriers.Load(),
 	}
 }
 

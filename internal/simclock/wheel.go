@@ -24,6 +24,30 @@ type event struct {
 	// par marks the callback commutative with other same-instant parallel
 	// events: batch-firing mode may run it concurrently with them.
 	par bool
+
+	// Effect-tagged events (tags.go). fnT is the time-explicit callback
+	// form — it receives the event's own timestamp, which equals Now()
+	// under the serial and batched drains and is the event's virtual
+	// instant under the lookahead drain, where Now() may still lag at the
+	// last barrier. tag (static) or tagFn (resolved at scan time) carries
+	// the effect mask; a zero mask means untagged, i.e. an ordering
+	// barrier. quiet, when set, bounds how far past this event the
+	// lookahead scan may speculate (the event spawns an untagged follow-up
+	// no earlier than quiet).
+	fnT   func(now time.Time)
+	tag   EffectTag
+	tagFn func() EffectTag
+	quiet time.Time
+}
+
+// fire invokes the event's callback; tagged events receive their own
+// timestamp as the explicit firing instant.
+func (e *event) fire() {
+	if e.fnT != nil {
+		e.fnT(e.at)
+		return
+	}
+	e.fn()
 }
 
 // less orders events by (at, seq) — the global firing order.
@@ -101,20 +125,39 @@ func (sl *slot) empty() bool { return sl.head == len(sl.evs) }
 // push stores an event; the caller holds s.mu. Instants in the past
 // clamp to now so they fire on the next dispatch.
 func (s *Sim) push(at time.Time, fn func(), par bool) {
+	s.pushEvent(at, &event{fn: fn, par: par})
+}
+
+// pushEvent assigns (at, seq) to ev and stores it; the caller holds s.mu
+// and fills every other field. Instants in the past clamp to now so they
+// fire on the next dispatch. While a lookahead window is firing, tagged
+// events that order before an active conflict group's final member are
+// diverted to that group (lookahead.go) instead of the queue, so the
+// group can fire them at their correct serial position.
+func (s *Sim) pushEvent(at time.Time, ev *event) {
 	if at.Before(s.now) {
 		at = s.now
 	}
 	s.seq++
-	ev := &event{at: at, seq: s.seq, fn: fn, par: par}
-	if at.Sub(s.now) < wheelSpan {
-		idx := slotIndex(at)
+	ev.at, ev.seq = at, s.seq
+	s.scheduled.Add(1)
+	if ev.fnT != nil && len(s.laGroups) > 0 && s.routeToWindow(ev) {
+		return
+	}
+	s.place(ev)
+}
+
+// place stores ev — whose at and seq are already assigned — in the wheel
+// or the overflow heap; the caller holds s.mu.
+func (s *Sim) place(ev *event) {
+	if ev.at.Sub(s.now) < wheelSpan {
+		idx := slotIndex(ev.at)
 		s.wheel[idx].add(ev)
 		s.occ[idx>>6] |= 1 << (idx & 63)
 		s.wheelLen++
 	} else {
 		heap.Push(&s.overflow, ev)
 	}
-	s.scheduled.Add(1)
 }
 
 // wheelMin returns the earliest wheel event and its slot without

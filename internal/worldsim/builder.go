@@ -83,32 +83,38 @@ func (w *World) commit(layouts []*Layout) {
 		total += len(l.domains)
 	}
 	w.Domains = newDomainStore(total)
+	lifecycles := make([][]simclock.TaggedTimed, len(layouts))
 	timelines := make([][]simclock.Timed, len(layouts))
 	workpool.Run(len(layouts), w.Cfg.CommitWorkers, func(i int) {
-		timelines[i] = w.commitLayout(layouts[i], i)
+		lifecycles[i], timelines[i] = w.commitLayout(layouts[i], i)
 	})
 	for i, l := range layouts {
 		for _, g := range l.ghosts {
 			w.Ghosts = append(w.Ghosts, g.d)
 		}
+		// Tagged registrations first, then untagged ghost issuance —
+		// the same per-layout append order commitLayout used when both
+		// lived in one batch, so sequence numbers are unchanged.
+		w.Clock.ScheduleBatchTagged(lifecycles[i])
 		w.Clock.ScheduleBatch(timelines[i])
 	}
 }
 
-// commitLayout installs one layout's commutative effects and returns its
-// compiled timeline for the serial ScheduleBatch pass. rank is the
-// layout's canonical index, which decides duplicate-name winners the
-// way serial order used to. Safe for concurrent invocation with
-// distinct layouts: the Domains store is sharded, the substrates lock
-// internally, and the registries/CAs the timeline closures capture are
-// only read here.
-func (w *World) commitLayout(l *Layout, rank int) []simclock.Timed {
-	timeline := make([]simclock.Timed, 0, len(l.domains)+len(l.ghosts))
+// commitLayout installs one layout's commutative effects and returns
+// its compiled timelines — effect-tagged domain lifecycles and untagged
+// ghost issuance — for the serial schedule pass. rank is the layout's
+// canonical index, which decides duplicate-name winners the way serial
+// order used to. Safe for concurrent invocation with distinct layouts:
+// the Domains store is sharded, the substrates lock internally, and the
+// registries/CAs the timeline closures capture are only read here.
+func (w *World) commitLayout(l *Layout, rank int) ([]simclock.TaggedTimed, []simclock.Timed) {
+	lifecycle := make([]simclock.TaggedTimed, 0, len(l.domains))
+	timeline := make([]simclock.Timed, 0, len(l.ghosts))
 	for _, r := range l.domains {
 		if w.Domains.install(r.d, rank) {
 			w.dupNames.Add(1)
 		}
-		timeline = append(timeline, simclock.Timed{At: r.d.Created, Fn: w.registrationFn(r)})
+		lifecycle = append(lifecycle, w.registrationEvent(r))
 	}
 	for _, g := range l.ghosts {
 		// Ghost names join the store's uniqueness set only — they have no
@@ -135,44 +141,70 @@ func (w *World) commitLayout(l *Layout, rank int) []simclock.Timed {
 	for _, s := range l.dzdb {
 		w.DZDB.Observe(s.domain, s.at)
 	}
-	return timeline
+	return lifecycle, timeline
 }
 
-// registrationFn wires one compiled registration's lifecycle into a
-// clock callback: register at creation, then kick off the (pre-drawn)
-// certificate chain, NS change and deletion.
-func (w *World) registrationFn(r *regLayout) func() {
+// registrationEvent wires one compiled registration's lifecycle into an
+// effect-tagged clock event: register at creation, then kick off the
+// (pre-drawn) certificate chain, NS change and deletion. The whole
+// chain carries the domain's effect atom — registration, NS change and
+// deletion touch only that domain's registry/ledger slice — so the
+// lookahead drain may fire lifecycles of unrelated domains from
+// different instants together. The callback is time-explicit: every
+// timestamp derives from the firing instant, and the certificate
+// request (untagged, it touches CA/CT state) is declared through Quiet
+// so the scan never speculates past its spawn point.
+func (w *World) registrationEvent(r *regLayout) simclock.TaggedTimed {
 	d := r.d
 	reg := w.Registries[d.TLD]
-	return func() {
-		if _, err := reg.Register(d.Name, d.Registrar, r.ns, r.web); err != nil {
-			return // name collision with an active registration (duplicate-TLD plans only)
-		}
-		if d.CertAsked {
-			w.requestCert(w.CAs[r.caIdx], d.Name, r.certDelay, r.retrySeed, 0)
-		}
-		if r.nsChange && (d.Lifetime == 0 || r.nsChangeAt < d.Lifetime) {
-			w.Clock.After(r.nsChangeAt, func() { _ = reg.UpdateNS(d.Name, r.altNS) })
-		}
-		if d.Lifetime > 0 {
-			w.Clock.After(d.Lifetime, func() { _ = reg.Delete(d.Name) })
-		}
+	tag := simclock.DomainTag(d.Name)
+	var quiet time.Time
+	if d.CertAsked {
+		quiet = d.Created.Add(r.certDelay)
+	}
+	return simclock.TaggedTimed{
+		At:    d.Created,
+		Tag:   tag,
+		Quiet: quiet,
+		Fn: func(now time.Time) {
+			if _, err := reg.RegisterAt(d.Name, d.Registrar, r.ns, r.web, now); err != nil {
+				return // name collision with an active registration (duplicate-TLD plans only)
+			}
+			if d.CertAsked {
+				w.requestCertAt(w.CAs[r.caIdx], d.Name, now.Add(r.certDelay), r.retrySeed, 0)
+			}
+			if r.nsChange && (d.Lifetime == 0 || r.nsChangeAt < d.Lifetime) {
+				w.Clock.ScheduleTagged(simclock.TaggedTimed{
+					At: now.Add(r.nsChangeAt), Tag: tag,
+					Fn: func(time.Time) { _ = reg.UpdateNS(d.Name, r.altNS) },
+				})
+			}
+			if d.Lifetime > 0 {
+				w.Clock.ScheduleTagged(simclock.TaggedTimed{
+					At: now.Add(d.Lifetime), Tag: tag,
+					Fn: func(at time.Time) { _ = reg.DeleteAt(d.Name, at) },
+				})
+			}
+		},
 	}
 }
 
-// requestCert retries issuance while the domain has not yet entered its
-// TLD zone — modelling ACME clients retrying validation until the
-// registry's next zone rebuild publishes the delegation. This retry chain
-// is what couples Figure 1's detection delay to zone-update cadence. The
-// backoffs derive from the registration's compiled retry seed, so the
-// chain stays a pure function of the world seed.
-func (w *World) requestCert(issuer *ca.CA, name string, delay time.Duration, retrySeed uint64, attempt int) {
-	w.Clock.After(delay, func() {
+// requestCertAt retries issuance while the domain has not yet entered
+// its TLD zone — modelling ACME clients retrying validation until the
+// registry's next zone rebuild publishes the delegation. This retry
+// chain is what couples Figure 1's detection delay to zone-update
+// cadence. The backoffs derive from the registration's compiled retry
+// seed, so the chain stays a pure function of the world seed. The first
+// attempt's instant is passed absolutely (the caller may be firing
+// speculatively); retries read the clock, which is safe because the
+// issue callback runs from untagged (barrier-fired) CA events.
+func (w *World) requestCertAt(issuer *ca.CA, name string, at time.Time, retrySeed uint64, attempt int) {
+	w.Clock.At(at, func() {
 		issuer.Issue(name, name, nil, func(_ ct.Entry, err error) {
 			if err == nil || attempt >= maxCertAttempts {
 				return
 			}
-			w.requestCert(issuer, name, retryDelay(retrySeed, attempt), retrySeed, attempt+1)
+			w.requestCertAt(issuer, name, w.Clock.Now().Add(retryDelay(retrySeed, attempt)), retrySeed, attempt+1)
 		})
 	})
 }

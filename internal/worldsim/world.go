@@ -275,6 +275,18 @@ func (w *World) RunBatched(workers int) {
 	w.Stop()
 }
 
+// RunLookahead advances like Run but drains the clock in lookahead
+// mode: effect-disjoint tagged events from up to `window` distinct
+// future timestamps — domain lifecycles, RDAP due-timers, fleet probe
+// rounds — fire together on a pool of the given width, while untagged
+// events (zone rebuilds, CT issuance, snapshot publication) remain
+// full ordering barriers. Campaign results are byte-identical to Run
+// for any window and width (DESIGN.md §12).
+func (w *World) RunLookahead(window, workers int) {
+	w.Clock.RunUntilLookahead(w.drainDeadline(), window, workers)
+	w.Stop()
+}
+
 // drainDeadline is the window end plus slack for late snapshots and the
 // last measurement windows.
 func (w *World) drainDeadline() time.Time {
@@ -296,7 +308,17 @@ func (w *World) resolves(name string) bool {
 type rdapBackend struct{ reg *registry.Registry }
 
 func (b rdapBackend) RDAPDomain(name string) (*rdap.Record, error) {
-	r, err := b.reg.RDAPLookup(name)
+	return b.record(b.reg.RDAPLookup(name))
+}
+
+// RDAPDomainAt implements rdap.BackendAt: the lookup evaluated at the
+// querying event's own instant, so tagged due-timers firing ahead of
+// committed time see the same sync-delay cutoffs the serial drain would.
+func (b rdapBackend) RDAPDomainAt(name string, now time.Time) (*rdap.Record, error) {
+	return b.record(b.reg.RDAPLookupAt(name, now))
+}
+
+func (b rdapBackend) record(r *registry.Registration, err error) (*rdap.Record, error) {
 	if err != nil {
 		if err == registry.RDAPErrNotSynced {
 			return nil, rdap.ErrNotSynced
