@@ -10,8 +10,10 @@
 package darkdns
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"net/netip"
 	"runtime"
 	"sync"
@@ -520,6 +522,93 @@ func BenchmarkWorldCommitSerial(b *testing.B) {
 // seeding, with only ghost-ledger and clock-timeline installs serial.
 func BenchmarkWorldCommitParallel(b *testing.B) {
 	benchWorldBuild(b, runtime.GOMAXPROCS(0), runtime.GOMAXPROCS(0))
+}
+
+// benchLayoutSet compiles the benchmark world's layout set once per
+// process; both snapshot benches encode/decode the same set so their
+// domains/s metrics share a denominator with the WorldBuild pair.
+var (
+	benchLayoutOnce sync.Once
+	benchLayoutSet  *worldsim.LayoutSet
+)
+
+func sharedLayoutSet(b *testing.B) *worldsim.LayoutSet {
+	b.Helper()
+	benchLayoutOnce.Do(func() {
+		benchLayoutSet = worldsim.CompileLayoutSet(benchWorldConfig(1, runtime.GOMAXPROCS(0), 0))
+	})
+	return benchLayoutSet
+}
+
+// BenchmarkSnapshotSave measures the columnar snapshot encoder: one op
+// serializes the compiled benchmark world. The layout set is compiled
+// once outside the timer; domains/s counts registrations encoded.
+func BenchmarkSnapshotSave(b *testing.B) {
+	ls := sharedLayoutSet(b)
+	runtime.GC() // setup garbage must not bill the first iteration
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := worldsim.SaveSnapshot(io.Discard, ls); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(ls.Domains()*b.N)/secs, "domains/s")
+	}
+}
+
+// BenchmarkSnapshotLoad measures the decode path that replaces the
+// compile fan-out on a snapshot hit: one op deserializes the benchmark
+// world from memory. The acceptance bar is domains/s ≥3× the
+// BenchmarkWorldBuildSerial baseline — loading a world must beat
+// re-laying it out by a wide margin or snapshots aren't worth the disk.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	ls := sharedLayoutSet(b)
+	var buf bytes.Buffer
+	if err := worldsim.SaveSnapshot(&buf, ls); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	runtime.GC() // setup garbage must not bill the first iteration
+	b.ReportAllocs()
+	b.ResetTimer()
+	domains := 0
+	for i := 0; i < b.N; i++ {
+		got, err := worldsim.LoadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		domains += got.Domains()
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(domains)/secs, "domains/s")
+	}
+}
+
+// BenchmarkSweepGrid runs a small seed × policy grid through the sweep
+// engine: 2 distinct worlds, 4 cells, each campaign replayed from the
+// shared snapshots. One op = one full grid (benchtime=1x friendly — the
+// CI smoke run exercises compile-once plus the snapshot fan-out path).
+func BenchmarkSweepGrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := analysis.Sweep(analysis.SweepConfig{
+			Seeds: []int64{1, 2}, Scales: []float64{0.0005}, Weeks: 2,
+			Policies: []analysis.SweepPolicy{
+				{Name: "paper", ProbeCadence: 10 * time.Minute},
+				{Name: "rapid", ProbeCadence: 2 * time.Minute, LookaheadWindow: 8},
+			},
+			Base:        analysis.RunConfig{WatchSampleRate: 1.0},
+			SnapshotDir: b.TempDir(),
+			Workers:     2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out.Cells) != 4 || out.DistinctWorlds != 2 {
+			b.Fatalf("grid shape: %d cells, %d worlds", len(out.Cells), out.DistinctWorlds)
+		}
+	}
 }
 
 // staticProbeBackend answers every fleet probe with a fixed delegation.

@@ -34,6 +34,7 @@ func main() {
 	commitWorkers := flag.Int("commit-workers", 0, "world builder commit mode: 0 = serial install, ≥1 = commit compiled layouts on this worker pool width (byte-identical output either way)")
 	probeWorkers := flag.Int("probe-workers", 0, "fleet probe mode: 0 = per-domain calls, ≥1 = submit each round as this many probe batches through the shared exchange layer (byte-identical output either way)")
 	probeCadence := flag.Duration("probe-cadence", 0, "fleet revalidation cadence decoupled from TTL (0 = default 10m interval)")
+	snapshot := flag.String("snapshot", "", "persistent world snapshot path: a matching snapshot replaces the compile phase, a miss compiles then saves here (byte-identical output either way)")
 	exp := flag.String("exp", "all", "experiment to run (table1..table5, figure1, figure2, nsstability, rdapfail, blocklists, nod, cctld, rzu, mail, all)")
 	csvDir := flag.String("csv", "", "directory to write figure CSVs for external plotting")
 	flag.Parse()
@@ -47,6 +48,7 @@ func main() {
 		LookaheadWindow: *lookaheadWindow,
 		BuildWorkers:    *buildWorkers, CommitWorkers: *commitWorkers,
 		ProbeWorkers: *probeWorkers, ProbeCadence: *probeCadence,
+		SnapshotPath: *snapshot,
 	})
 	fmt.Fprintf(os.Stderr, "simulation complete in %v: %d candidates, %d transient lower bound\n",
 		time.Since(start).Round(time.Millisecond), res.Pipeline.Len(), len(res.Report.LowerBound))

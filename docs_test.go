@@ -44,9 +44,10 @@ func registeredFlags(t *testing.T, path string) []string {
 }
 
 // TestReadmeFlagReference fails when a flag registered in cmd/darkdns,
-// cmd/reproduce, or cmd/feedserver has no row in README.md's flag
-// reference (a table row whose first cell is the backticked flag), or
-// when any of the five engine -*-workers flags is missing entirely.
+// cmd/reproduce, cmd/feedserver, cmd/zonediff, or cmd/sweep has no row
+// in README.md's flag reference (a table row whose first cell is the
+// backticked flag), or when any of the five engine -*-workers flags is
+// missing entirely.
 func TestReadmeFlagReference(t *testing.T) {
 	readme, err := os.ReadFile("README.md")
 	if err != nil {
@@ -54,7 +55,10 @@ func TestReadmeFlagReference(t *testing.T) {
 	}
 	doc := string(readme)
 
-	for _, cmd := range []string{"cmd/darkdns/main.go", "cmd/reproduce/main.go", "cmd/feedserver/main.go"} {
+	for _, cmd := range []string{
+		"cmd/darkdns/main.go", "cmd/reproduce/main.go", "cmd/feedserver/main.go",
+		"cmd/zonediff/main.go", "cmd/sweep/main.go",
+	} {
 		for _, name := range registeredFlags(t, cmd) {
 			row := fmt.Sprintf("| `-%s` |", name)
 			if !strings.Contains(doc, row) {

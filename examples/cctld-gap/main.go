@@ -3,7 +3,9 @@
 // within 24 hours of registration. How many of those did the public
 // CT-based method actually see? The answer — about 30 % — is the paper's
 // strongest evidence that researchers have a blind spot only rapid zone
-// updates can close.
+// updates can close. The sweep engine asks it across several seeds and
+// two watch policies at once: each world compiles once, and every cell
+// replays it from the shared snapshot.
 package main
 
 import (
@@ -14,16 +16,33 @@ import (
 )
 
 func main() {
-	res := analysis.Run(analysis.RunConfig{Seed: 5, Scale: 0.002, Weeks: 13, WatchSampleRate: 0.5})
+	out, err := analysis.Sweep(analysis.SweepConfig{
+		Seeds: []int64{5, 6, 7}, Scales: []float64{0.002}, Weeks: 13,
+		Policies: []analysis.SweepPolicy{
+			{Name: "watch-all", WatchSampleRate: 1.0},
+			{Name: "watch-half", WatchSampleRate: 0.5},
+		},
+		Base:    analysis.RunConfig{WatchSampleRate: 0.5},
+		Workers: 3,
+	})
+	if err != nil {
+		panic(err)
+	}
 
+	fmt.Printf("ccTLD recall across %d worlds × 2 watch policies (%d compiles):\n\n",
+		out.DistinctWorlds, out.DistinctWorlds)
+	fmt.Printf("  %-5s %-11s %9s %9s %9s %8s\n", "seed", "policy", "fast-del", "never-in", "caught", "recall")
+	for _, sr := range out.Cells {
+		cc := analysis.CCTLDGroundTruth(sr.Results)
+		fmt.Printf("  %-5d %-11s %9d %9d %9d %7.1f%%\n",
+			sr.Cell.Seed, sr.Cell.Policy.Label(), cc.FastDeleted, cc.NeverInZone,
+			cc.PipelineFound, 100*cc.Recall)
+	}
+
+	// Show what detection looked like for ccTLD candidates one cell saw.
+	res := out.Cells[0].Results
 	cc := analysis.CCTLDGroundTruth(res)
-	fmt.Printf("registry ground truth for .%s over the window:\n", cc.TLD)
-	fmt.Printf("  domains deleted within 24h of registration: %4d   (paper: 714)\n", cc.FastDeleted)
-	fmt.Printf("  of those, never captured in a zone file:    %4d   (paper: 334)\n", cc.NeverInZone)
-	fmt.Printf("  of those, detected by the CT pipeline:      %4d   (paper:  99)\n", cc.PipelineFound)
-	fmt.Printf("  recall against the registry's view:        %5.1f%%  (paper: 29.6%%)\n\n", 100*cc.Recall)
-
-	// Show what detection looked like for the ccTLD candidates we did see.
+	fmt.Printf("\nsample detections from seed %d (paper: 714 fast-deleted, 334 never in zone, 99 caught, 29.6%% recall):\n", out.Cells[0].Cell.Seed)
 	shown := 0
 	for _, c := range res.Pipeline.Candidates() {
 		if c.TLD != cc.TLD || shown >= 5 {

@@ -91,6 +91,11 @@ type RunConfig struct {
 	// default 10-minute round, per Afek & Litmanovich's TTL-decoupled
 	// revalidation. Zero keeps the default cadence.
 	ProbeCadence time.Duration
+	// SnapshotPath passes through to worldsim.Config.SnapshotPath: when
+	// set, a matching persistent world snapshot replaces the compile
+	// fan-out (and a miss compiles then saves back). The sweep engine
+	// uses this to share one compiled world across a policy grid.
+	SnapshotPath string
 }
 
 // DefaultRunConfig is sized for test and example runs: ≈1/500 of paper
@@ -109,6 +114,7 @@ func Run(cfg RunConfig) *Results {
 	}
 	wcfg.BuildWorkers = cfg.BuildWorkers
 	wcfg.CommitWorkers = cfg.CommitWorkers
+	wcfg.SnapshotPath = cfg.SnapshotPath
 	w := worldsim.New(wcfg)
 	start, end := w.Window()
 

@@ -5,8 +5,11 @@
 //
 // A file is a sequence of row groups. Each column chunk is independently
 // encoded: strings use dictionary encoding with varint indexes, integers
-// use zigzag-varint deltas, and booleans use run-length encoding. The
-// format is self-describing: the schema is embedded in the header.
+// use zigzag-varint deltas, booleans use run-length encoding, float64s
+// use mantissa-reversed zigzag deltas (round constants and repeated
+// values shrink to a byte or two), and raw byte columns are
+// length-prefixed. The format is self-describing: the schema is embedded
+// in the header.
 //
 // Layout:
 //
@@ -19,10 +22,13 @@ package columnar
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"math/bits"
 	"strings"
 )
 
@@ -34,6 +40,8 @@ const (
 	TypeString ColType = iota
 	TypeInt64
 	TypeBool
+	TypeFloat64
+	TypeBytes
 )
 
 // String returns the schema mnemonic.
@@ -45,6 +53,10 @@ func (t ColType) String() string {
 		return "int64"
 	case TypeBool:
 		return "bool"
+	case TypeFloat64:
+		return "float64"
+	case TypeBytes:
+		return "bytes"
 	}
 	return fmt.Sprintf("type%d", uint8(t))
 }
@@ -57,6 +69,10 @@ func parseColType(s string) (ColType, error) {
 		return TypeInt64, nil
 	case "bool":
 		return TypeBool, nil
+	case "float64":
+		return TypeFloat64, nil
+	case "bytes":
+		return TypeBytes, nil
 	}
 	return 0, fmt.Errorf("columnar: unknown column type %q", s)
 }
@@ -112,9 +128,11 @@ func (s Schema) Index(name string) int {
 
 // Value is a dynamically typed cell.
 type Value struct {
-	S string
-	I int64
-	B bool
+	S   string
+	I   int64
+	B   bool
+	F   float64
+	Raw []byte
 }
 
 // String builds a string cell.
@@ -126,7 +144,18 @@ func Int(i int64) Value { return Value{I: i} }
 // Bool builds a bool cell.
 func Bool(b bool) Value { return Value{B: b} }
 
+// Float builds a float64 cell.
+func Float(f float64) Value { return Value{F: f} }
+
+// Bytes builds a raw-bytes cell.
+func Bytes(b []byte) Value { return Value{Raw: b} }
+
 const magic = "DCOL1\n"
+
+// maxGroupRows caps both the writer's row-group size and the row count a
+// reader will accept for a single group, so a corrupt or hostile header
+// cannot make the decoder allocate unboundedly.
+const maxGroupRows = 1 << 24
 
 // Writer writes row groups to an underlying writer.
 type Writer struct {
@@ -135,24 +164,31 @@ type Writer struct {
 	started bool
 
 	// pending row-group buffers, one per column
-	strs  [][]string
-	ints  [][]int64
-	bools [][]bool
-	rows  int
+	strs   [][]string
+	ints   [][]int64
+	bools  [][]bool
+	floats [][]float64
+	raws   [][][]byte
+	rows   int
 	// groupRows is the row-group flush threshold.
 	groupRows int
 }
 
 // NewWriter creates a writer with the given schema. groupRows controls the
-// row-group size (<=0 selects the 8192 default).
+// row-group size (<=0 selects the 8192 default; values above maxGroupRows
+// are clamped so any file we produce stays readable).
 func NewWriter(w io.Writer, schema Schema, groupRows int) *Writer {
 	if groupRows <= 0 {
 		groupRows = 8192
 	}
+	if groupRows > maxGroupRows {
+		groupRows = maxGroupRows
+	}
 	cw := &Writer{
 		w: bufio.NewWriterSize(w, 64<<10), schema: schema, groupRows: groupRows,
 		strs: make([][]string, len(schema)), ints: make([][]int64, len(schema)),
-		bools: make([][]bool, len(schema)),
+		bools: make([][]bool, len(schema)), floats: make([][]float64, len(schema)),
+		raws: make([][][]byte, len(schema)),
 	}
 	return cw
 }
@@ -170,6 +206,10 @@ func (w *Writer) Append(row ...Value) error {
 			w.ints[i] = append(w.ints[i], row[i].I)
 		case TypeBool:
 			w.bools[i] = append(w.bools[i], row[i].B)
+		case TypeFloat64:
+			w.floats[i] = append(w.floats[i], row[i].F)
+		case TypeBytes:
+			w.raws[i] = append(w.raws[i], row[i].Raw)
 		}
 	}
 	w.rows++
@@ -178,6 +218,11 @@ func (w *Writer) Append(row ...Value) error {
 	}
 	return nil
 }
+
+// Flush ends the current row group early, writing any pending rows. It lets
+// callers align row-group boundaries with natural batch boundaries (the
+// world snapshot writes one group per layout chunk).
+func (w *Writer) Flush() error { return w.flushGroup() }
 
 // Close flushes pending rows, writes the end marker and drains buffers.
 func (w *Writer) Close() error {
@@ -231,6 +276,12 @@ func (w *Writer) flushGroup() error {
 		case TypeBool:
 			chunk = encodeBools(w.bools[i])
 			w.bools[i] = w.bools[i][:0]
+		case TypeFloat64:
+			chunk = encodeFloats(w.floats[i])
+			w.floats[i] = w.floats[i][:0]
+		case TypeBytes:
+			chunk = encodeBytesCol(w.raws[i])
+			w.raws[i] = w.raws[i][:0]
 		}
 		if err := writeBytes(w.w, chunk); err != nil {
 			return err
@@ -275,11 +326,22 @@ func encodeStrings(vals []string) []byte {
 	return out
 }
 
-func decodeStrings(b []byte, n int) ([]string, error) {
+func decodeStrings(b []byte, n int, dst []string) ([]string, error) {
 	dictLen, b, err := uvarint(b)
 	if err != nil {
 		return nil, err
 	}
+	// Each dict entry needs at least one length byte, so the dict can never
+	// hold more entries than remaining bytes; rejecting here keeps a corrupt
+	// header from driving a huge allocation.
+	if dictLen > uint64(len(b)) {
+		return nil, errors.New("columnar: dictionary larger than chunk")
+	}
+	// One string conversion backs every dict entry: each entry is a
+	// substring of the chunk copied once, not an allocation per value —
+	// for high-cardinality columns (domain names) this is the difference
+	// between 1 alloc and 10^5 allocs per group.
+	all := string(b)
 	dict := make([]string, dictLen)
 	for i := range dict {
 		var l uint64
@@ -289,10 +351,15 @@ func decodeStrings(b []byte, n int) ([]string, error) {
 		if uint64(len(b)) < l {
 			return nil, io.ErrUnexpectedEOF
 		}
-		dict[i] = string(b[:l])
+		off := len(all) - len(b)
+		dict[i] = all[off : off+int(l)]
 		b = b[l:]
 	}
-	out := make([]string, n)
+	out := dst
+	if cap(out) < n {
+		out = make([]string, n)
+	}
+	out = out[:n]
 	for i := 0; i < n; i++ {
 		var idx uint64
 		if idx, b, err = uvarint(b); err != nil {
@@ -317,15 +384,33 @@ func encodeInts(vals []int64) []byte {
 	return out
 }
 
-func decodeInts(b []byte, n int) ([]int64, error) {
-	out := make([]int64, n)
+func decodeInts(b []byte, n int, dst []int64) ([]int64, error) {
+	out := dst
+	if cap(out) < n {
+		out = make([]int64, n)
+	}
+	out = out[:n]
 	prev := int64(0)
 	for i := 0; i < n; i++ {
-		d, rest, err := varint(b)
-		if err != nil {
-			return nil, err
+		// Delta encoding makes single-byte varints the overwhelmingly
+		// common case; decode them inline and fall back to the generic
+		// reader only for multi-byte deltas.
+		var ux uint64
+		if len(b) > 0 && b[0] < 0x80 {
+			ux = uint64(b[0])
+			b = b[1:]
+		} else {
+			v, w := binary.Uvarint(b)
+			if w <= 0 {
+				return nil, io.ErrUnexpectedEOF
+			}
+			ux = v
+			b = b[w:]
 		}
-		b = rest
+		d := int64(ux >> 1)
+		if ux&1 != 0 {
+			d = ^d
+		}
 		prev += d
 		out[i] = prev
 	}
@@ -352,8 +437,11 @@ func encodeBools(vals []bool) []byte {
 	return out
 }
 
-func decodeBools(b []byte, n int) ([]bool, error) {
-	out := make([]bool, 0, n)
+func decodeBools(b []byte, n int, dst []bool) ([]bool, error) {
+	out := dst[:0]
+	if cap(out) < n {
+		out = make([]bool, 0, n)
+	}
 	for len(out) < n {
 		run, rest, err := uvarint(b)
 		if err != nil {
@@ -375,7 +463,78 @@ func decodeBools(b []byte, n int) ([]bool, error) {
 	return out, nil
 }
 
+// encodeFloats stores zigzag-varint deltas of the byte-reversed IEEE 754
+// bits. Reversing puts the sign/exponent bytes last, so round constants and
+// repeated values differ only in low bits and their deltas varint-encode to
+// a byte or two ("zigzag-mantissa" encoding).
+func encodeFloats(vals []float64) []byte {
+	var out []byte
+	prev := uint64(0)
+	for _, v := range vals {
+		u := bits.ReverseBytes64(math.Float64bits(v))
+		out = binary.AppendVarint(out, int64(u-prev))
+		prev = u
+	}
+	return out
+}
+
+func decodeFloats(b []byte, n int, dst []float64) ([]float64, error) {
+	out := dst
+	if cap(out) < n {
+		out = make([]float64, n)
+	}
+	out = out[:n]
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		d, rest, err := varint(b)
+		if err != nil {
+			return nil, err
+		}
+		b = rest
+		prev += uint64(d)
+		out[i] = math.Float64frombits(bits.ReverseBytes64(prev))
+	}
+	return out, nil
+}
+
+// encodeBytesCol length-prefixes each value: varint len + raw bytes.
+func encodeBytesCol(vals [][]byte) []byte {
+	var out []byte
+	for _, v := range vals {
+		out = binary.AppendUvarint(out, uint64(len(v)))
+		out = append(out, v...)
+	}
+	return out
+}
+
+func decodeBytesCol(b []byte, n int, dst [][]byte) ([][]byte, error) {
+	out := dst
+	if cap(out) < n {
+		out = make([][]byte, n)
+	}
+	out = out[:n]
+	for i := 0; i < n; i++ {
+		l, rest, err := uvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		b = rest
+		if uint64(len(b)) < l {
+			return nil, io.ErrUnexpectedEOF
+		}
+		// Values alias the chunk buffer: readBytes hands each group a
+		// fresh allocation, so the sub-slices stay valid for the life of
+		// the RowGroup without a per-value copy.
+		out[i] = b[:l:l]
+		b = b[l:]
+	}
+	return out, nil
+}
+
 func uvarint(b []byte) (uint64, []byte, error) {
+	if len(b) > 0 && b[0] < 0x80 {
+		return uint64(b[0]), b[1:], nil
+	}
 	v, n := binary.Uvarint(b)
 	if n <= 0 {
 		return 0, nil, io.ErrUnexpectedEOF
@@ -400,13 +559,26 @@ type RowGroup struct {
 	Strs   map[string][]string
 	Ints   map[string][]int64
 	Bools  map[string][]bool
+	Floats map[string][]float64
+	Bytes  map[string][][]byte
 }
 
 // Reader streams row groups from a columnar file.
 type Reader struct {
 	r      *bufio.Reader
 	schema Schema
+	reuse  bool
+	bufs   []bytes.Buffer // per-column chunk scratch when reuse is on
+	last   *RowGroup
 }
+
+// Reuse puts the reader in storage-recycling mode: every call to Next
+// may overwrite the maps, slices, and byte values of the previously
+// returned RowGroup. A streaming consumer that fully processes each
+// group before asking for the next decodes with near-zero per-group
+// allocation; a caller that retains returned groups must not enable it.
+// Decoded strings are always safe to retain — they never alias scratch.
+func (r *Reader) Reuse() { r.reuse = true }
 
 // NewReader validates the header and returns a reader.
 func NewReader(r io.Reader) (*Reader, error) {
@@ -441,26 +613,57 @@ func (r *Reader) Next() (*RowGroup, error) {
 	if n == 0 {
 		return nil, io.EOF
 	}
-	g := &RowGroup{
-		Schema: r.schema, Rows: int(n),
-		Strs: make(map[string][]string), Ints: make(map[string][]int64), Bools: make(map[string][]bool),
+	if n > maxGroupRows {
+		return nil, fmt.Errorf("columnar: row group claims %d rows (max %d)", n, maxGroupRows)
 	}
-	for _, c := range r.schema {
-		chunk, err := readBytes(r.r)
+	g := r.last
+	if g == nil || !r.reuse {
+		g = &RowGroup{
+			Schema: r.schema,
+			Strs:   make(map[string][]string), Ints: make(map[string][]int64), Bools: make(map[string][]bool),
+			Floats: make(map[string][]float64), Bytes: make(map[string][][]byte),
+		}
+	}
+	g.Rows = int(n)
+	if r.reuse {
+		r.last = g
+		if r.bufs == nil {
+			r.bufs = make([]bytes.Buffer, len(r.schema))
+		}
+	}
+	for i, c := range r.schema {
+		var chunk []byte
+		var err error
+		if r.reuse {
+			chunk, err = readBytesInto(r.r, &r.bufs[i])
+		} else {
+			chunk, err = readBytes(r.r)
+		}
 		if err != nil {
 			return nil, err
 		}
+		// Passing the group's previous column slice lets each decoder
+		// recycle it when capacity allows; on a fresh group the slice is
+		// nil and the decoder allocates.
 		switch c.Type {
 		case TypeString:
-			if g.Strs[c.Name], err = decodeStrings(chunk, g.Rows); err != nil {
+			if g.Strs[c.Name], err = decodeStrings(chunk, g.Rows, g.Strs[c.Name]); err != nil {
 				return nil, err
 			}
 		case TypeInt64:
-			if g.Ints[c.Name], err = decodeInts(chunk, g.Rows); err != nil {
+			if g.Ints[c.Name], err = decodeInts(chunk, g.Rows, g.Ints[c.Name]); err != nil {
 				return nil, err
 			}
 		case TypeBool:
-			if g.Bools[c.Name], err = decodeBools(chunk, g.Rows); err != nil {
+			if g.Bools[c.Name], err = decodeBools(chunk, g.Rows, g.Bools[c.Name]); err != nil {
+				return nil, err
+			}
+		case TypeFloat64:
+			if g.Floats[c.Name], err = decodeFloats(chunk, g.Rows, g.Floats[c.Name]); err != nil {
+				return nil, err
+			}
+		case TypeBytes:
+			if g.Bytes[c.Name], err = decodeBytesCol(chunk, g.Rows, g.Bytes[c.Name]); err != nil {
 				return nil, err
 			}
 		}
@@ -469,13 +672,29 @@ func (r *Reader) Next() (*RowGroup, error) {
 }
 
 func readBytes(r *bufio.Reader) ([]byte, error) {
+	var buf bytes.Buffer
+	return readBytesInto(r, &buf)
+}
+
+func readBytesInto(r *bufio.Reader, buf *bytes.Buffer) ([]byte, error) {
 	l, err := binary.ReadUvarint(r)
 	if err != nil {
 		return nil, err
 	}
-	b := make([]byte, l)
-	if _, err := io.ReadFull(r, b); err != nil {
+	if l > math.MaxInt64 {
+		return nil, errors.New("columnar: absurd chunk length")
+	}
+	// Grow via CopyN instead of a single make([]byte, l): a corrupt varint
+	// can claim an enormous length, and the allocation must be bounded by
+	// what the stream actually delivers. Pre-growing up to a 1 MiB cap
+	// keeps honest chunks to one allocation without trusting the header.
+	buf.Reset()
+	buf.Grow(int(min(l, 1<<20)))
+	if _, err := io.CopyN(buf, r, int64(l)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
 		return nil, err
 	}
-	return b, nil
+	return buf.Bytes(), nil
 }

@@ -35,6 +35,7 @@ type compileUnit struct {
 // is the unit-list order: plans in Config.Plans order, chunks ascending,
 // ccTLD last.
 func compileLayouts(env *buildEnv) []*Layout {
+	compileCount.Add(1)
 	cfg := env.cfg
 	units := make([]compileUnit, 0, len(cfg.Plans)+1)
 	for i, p := range cfg.Plans {

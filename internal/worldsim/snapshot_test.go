@@ -1,0 +1,177 @@
+package worldsim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotRoundTrip: a saved-then-loaded layout set must commit to a
+// byte-identical world — same fingerprint (every Domain field plus the
+// ghost ledger) and the same full event stream a run delivers.
+func TestSnapshotRoundTrip(t *testing.T) {
+	cfg := tinyConfig(41)
+	ls := CompileLayoutSet(cfg)
+
+	var buf bytes.Buffer
+	if err := SaveSnapshot(&buf, ls); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Seed != ls.Seed || loaded.ConfigHash != ls.ConfigHash {
+		t.Fatalf("header: got (%d,%x), want (%d,%x)", loaded.Seed, loaded.ConfigHash, ls.Seed, ls.ConfigHash)
+	}
+	if !loaded.Matches(cfg) {
+		t.Fatal("loaded set does not match its own config")
+	}
+	if len(loaded.Layouts) != len(ls.Layouts) {
+		t.Fatalf("layouts: got %d, want %d", len(loaded.Layouts), len(ls.Layouts))
+	}
+	for i, l := range ls.Layouts {
+		got := loaded.Layouts[i]
+		if got.tld != l.tld || len(got.domains) != len(l.domains) || len(got.ghosts) != len(l.ghosts) {
+			t.Fatalf("layout %d: shape mismatch", i)
+		}
+		for j, r := range l.domains {
+			gr := got.domains[j]
+			if *gr.d != *r.d {
+				t.Fatalf("layout %d domain %d: %+v vs %+v", i, j, *gr.d, *r.d)
+			}
+			if !reflect.DeepEqual(gr.ns, r.ns) || gr.web != r.web || gr.caIdx != r.caIdx ||
+				gr.certDelay != r.certDelay || gr.retrySeed != r.retrySeed ||
+				gr.nsChange != r.nsChange || gr.nsChangeAt != r.nsChangeAt ||
+				!reflect.DeepEqual(gr.altNS, r.altNS) {
+				t.Fatalf("layout %d domain %d: regLayout mismatch", i, j)
+			}
+		}
+		if !reflect.DeepEqual(got.nod, l.nod) || !reflect.DeepEqual(got.flags, l.flags) ||
+			!reflect.DeepEqual(got.dzdb, l.dzdb) {
+			t.Fatalf("layout %d: feed seedings mismatch", i)
+		}
+	}
+}
+
+// TestSnapshotWorldByteIdentical: building via Config.SnapshotPath (cold
+// save, then warm load) must produce the same world and event stream as
+// building with no snapshot at all.
+func TestSnapshotWorldByteIdentical(t *testing.T) {
+	base := tinyConfig(42)
+	wantFP := worldFingerprint(New(base))
+
+	path := filepath.Join(t.TempDir(), "world.dsnap")
+	cold := base
+	cold.SnapshotPath = path
+	loadsBefore := SnapshotLoadCount()
+	coldFP := worldFingerprint(New(cold)) // miss: compiles, saves
+	if SnapshotLoadCount() != loadsBefore {
+		t.Fatal("cold build should not count as a snapshot load")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("cold build did not save snapshot: %v", err)
+	}
+	compilesBefore := CompileCount()
+	warmFP := worldFingerprint(New(cold)) // hit: decode only
+	if CompileCount() != compilesBefore {
+		t.Fatal("warm build recompiled despite a matching snapshot")
+	}
+	if SnapshotLoadCount() != loadsBefore+1 {
+		t.Fatal("warm build did not count as a snapshot load")
+	}
+	if coldFP != wantFP || warmFP != wantFP {
+		t.Fatal("snapshot-path worlds differ from the plain build")
+	}
+
+	// Event-stream identity, not just static ground truth.
+	want := RecordedEvents(base)
+	got := RecordedEvents(cold)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("event streams differ: %d vs %d events", len(got), len(want))
+	}
+}
+
+// TestSnapshotMismatchFallsBack: a snapshot saved for one (seed, shape)
+// must not be used for another — the build silently recompiles.
+func TestSnapshotMismatchFallsBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "world.dsnap")
+	a := tinyConfig(1)
+	if err := SaveSnapshotFile(path, CompileLayoutSet(a)); err != nil {
+		t.Fatal(err)
+	}
+
+	b := tinyConfig(2) // different seed
+	b.SnapshotPath = path
+	loadsBefore := SnapshotLoadCount()
+	got := worldFingerprint(New(b))
+	if SnapshotLoadCount() != loadsBefore {
+		t.Fatal("mismatched snapshot was loaded")
+	}
+	if want := worldFingerprint(New(tinyConfig(2))); got != want {
+		t.Fatal("fallback world differs from plain build")
+	}
+	// The fallback saved seed-2's world over the stale file, so a rebuild
+	// now hits.
+	ls, err := LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ls.Matches(b) {
+		t.Fatal("fallback build did not refresh the snapshot")
+	}
+
+	// Shape changes (not just seed) must also miss.
+	c := tinyConfig(2)
+	c.Weeks = 3
+	if ls.Matches(c) {
+		t.Fatal("snapshot matched a different world shape")
+	}
+}
+
+// TestSnapshotCorruptInputs: truncated or corrupt snapshots error
+// cleanly, and a corrupt file behind Config.SnapshotPath still builds.
+func TestSnapshotCorruptInputs(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(7)
+	if err := SaveSnapshot(&buf, CompileLayoutSet(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	for _, cut := range []int{0, 3, len(snapMagic) + 2, len(full) / 2, len(full) - 2} {
+		if _, err := LoadSnapshot(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("cut at %d: truncated snapshot loaded cleanly", cut)
+		}
+	}
+	garbage := append([]byte(nil), full...)
+	copy(garbage[len(snapMagic)+4:], []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	if _, err := LoadSnapshot(bytes.NewReader(garbage)); err == nil {
+		t.Error("corrupt snapshot loaded cleanly")
+	}
+
+	path := filepath.Join(t.TempDir(), "bad.dsnap")
+	if err := os.WriteFile(path, full[:len(full)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg.SnapshotPath = path
+	if got, want := worldFingerprint(New(cfg)), worldFingerprint(New(tinyConfig(7))); got != want {
+		t.Fatal("build behind a corrupt snapshot differs from plain build")
+	}
+}
+
+// TestSnapshotVersionGate: a bumped format version is a load error (and
+// therefore a compile fallback), never a misparse.
+func TestSnapshotVersionGate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveSnapshot(&buf, CompileLayoutSet(tinyConfig(3))); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[len(snapMagic)] = snapVersion + 1 // version varint is one byte
+	if _, err := LoadSnapshot(bytes.NewReader(b)); err == nil {
+		t.Error("future-version snapshot loaded cleanly")
+	}
+}

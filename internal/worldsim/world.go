@@ -89,6 +89,32 @@ type Config struct {
 	// probabilities conditioned on certificate issuance (§4.4 overlap).
 	NODRateWithCert float64
 	NODRateNoCert   float64
+	// SnapshotPath, when set, names a persistent columnar world snapshot
+	// (snapshot.go): a matching snapshot replaces the compile fan-out
+	// with a decode that feeds the commit engine directly, and a miss
+	// compiles then saves back to the path. Like the worker widths, the
+	// path changes how a world is built, never what it is.
+	SnapshotPath string
+}
+
+// withDefaults normalizes the zero-value knobs the same way New always
+// has. Factored out so snapshot keying (shapeHash) and the standalone
+// compiler (CompileLayoutSet) see the identical effective config.
+func (cfg Config) withDefaults() Config {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 0.001
+	}
+	if cfg.Plans == nil {
+		cfg.Plans = PaperPlans()
+	}
+	if cfg.CCTLD == nil {
+		p := PaperCCTLD()
+		cfg.CCTLD = &p
+	}
+	if cfg.Weeks <= 0 {
+		cfg.Weeks = 13
+	}
+	return cfg
 }
 
 // DefaultConfig returns the calibrated paper-shape configuration.
@@ -176,19 +202,7 @@ var caNames = []string{"LetsEncrypt", "GlobalSign", "Sectigo", "CloudflareCA"}
 // New builds a world and schedules every ground-truth event on its clock.
 // Call Run (or step the clock manually) to execute the timeline.
 func New(cfg Config) *World {
-	if cfg.Scale <= 0 {
-		cfg.Scale = 0.001
-	}
-	if cfg.Plans == nil {
-		cfg.Plans = PaperPlans()
-	}
-	if cfg.CCTLD == nil {
-		p := PaperCCTLD()
-		cfg.CCTLD = &p
-	}
-	if cfg.Weeks <= 0 {
-		cfg.Weeks = 13
-	}
+	cfg = cfg.withDefaults()
 	w := &World{
 		Cfg:        cfg,
 		Clock:      simclock.NewSim(cfg.Start),
@@ -236,16 +250,17 @@ func New(cfg Config) *World {
 	}
 
 	// Two-phase build: compile pure per-plan layouts (in parallel when
-	// BuildWorkers is set), then commit them through the parallel commit
-	// engine (CommitWorkers wide; the order-sensitive remainder stays
-	// serial in canonical plan order).
+	// BuildWorkers is set) — or decode them from a snapshot when
+	// Config.SnapshotPath hits — then commit them through the parallel
+	// commit engine (CommitWorkers wide; the order-sensitive remainder
+	// stays serial in canonical plan order).
 	env := &buildEnv{
 		cfg:    &w.Cfg,
 		numCAs: len(w.CAs),
 		lists:  w.Blocklists.Models(),
 		nodCfg: w.NOD.Config(),
 	}
-	w.commit(compileLayouts(env))
+	w.commit(layoutsFor(env))
 	return w
 }
 
