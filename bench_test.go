@@ -730,6 +730,85 @@ func BenchmarkProbeBatchParallel(b *testing.B) {
 	benchProbeBatch(b, runtime.GOMAXPROCS(0))
 }
 
+// benchApplyBackend is benchProbeBackend with a quarter of the CPU slab:
+// light enough that stage 2 — state apply + observer delivery — is a
+// visible fraction of each round, so the RoundApply pair exposes the
+// apply engine's fan-out and probe/apply overlap rather than pure
+// resolution cost.
+type benchApplyBackend struct{ sink atomic.Uint64 }
+
+func (p *benchApplyBackend) work(domain string) {
+	h := dnsname.Hash64(domain)
+	for i := 0; i < 512; i++ {
+		h = (h ^ uint64(i)) * 0x100000001b3
+	}
+	if h == 0 {
+		p.sink.Add(1) // never taken; defeats dead-code elimination
+	}
+}
+
+func (p *benchApplyBackend) AuthoritativeNS(domain string) ([]string, bool) {
+	p.work(domain)
+	return []string{"ns1.bench.net"}, true
+}
+func (p *benchApplyBackend) LookupA(string) []netip.Addr    { return nil }
+func (p *benchApplyBackend) LookupAAAA(string) []netip.Addr { return nil }
+
+func (p *benchApplyBackend) ProbeBatch(domains []string, mail bool) []measure.ProbeResult {
+	out := make([]measure.ProbeResult, len(domains))
+	for i, d := range domains {
+		out[i].NS, out[i].InZone = p.AuthoritativeNS(d)
+	}
+	return out
+}
+
+// benchRoundApply measures the apply engine through full fleet rounds:
+// 512 watched domains, one op = one probe applied and delivered. Both
+// variants run machine-width probe slices so stage 1 is identical; only
+// the stage-2 mode differs — inline serial apply (applyWorkers=0) vs the
+// fan-out + reorder-buffer pipeline (DESIGN.md §14). applies/s and
+// rounds/s are the BENCH_ci.json acceptance pair.
+func benchRoundApply(b *testing.B, applyWorkers int) {
+	clk := simclock.NewSim(time.Date(2023, 11, 1, 0, 0, 0, 0, time.UTC))
+	cfg := measure.DefaultConfig()
+	cfg.ProbeWorkers = runtime.GOMAXPROCS(0)
+	cfg.ApplyWorkers = applyWorkers
+	fleet := measure.NewFleet(cfg, clk, &benchApplyBackend{})
+	var applied int64
+	fleet.OnObservation(func(measure.Observation) { applied++ })
+	const domains = 512
+	for i := 0; i < domains; i++ {
+		fleet.Watch(benchName(i) + ".shop")
+	}
+	b.ResetTimer()
+	gen := 0
+	for applied < int64(b.N) {
+		if clk.Pending() == 0 {
+			gen++
+			for i := 0; i < domains; i++ {
+				fleet.Watch(fmt.Sprintf("g%d-%s.shop", gen, benchName(i)))
+			}
+		}
+		clk.Advance(10 * time.Minute)
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(applied)/secs, "applies/s")
+		b.ReportMetric(float64(fleet.Report().Rounds)/secs, "rounds/s")
+	}
+}
+
+// BenchmarkRoundApplySerial is the apply engine's baseline: stage 2
+// applies state and delivers observations inline in admission order.
+func BenchmarkRoundApplySerial(b *testing.B) { benchRoundApply(b, 0) }
+
+// BenchmarkRoundApplyParallel fans applies across a machine-width pool
+// behind the sequencing reorder buffer; against BenchmarkRoundApplySerial
+// the applies/s pair tracks the apply engine's trajectory in BENCH_ci.json.
+func BenchmarkRoundApplyParallel(b *testing.B) {
+	benchRoundApply(b, runtime.GOMAXPROCS(0))
+}
+
 // benchFeedFanout measures the pub/sub feed tier end to end: one op is
 // one entry published to the topic, with every subscriber connected over
 // real TCP at offset 0 before the timer starts. The entries/s metric is

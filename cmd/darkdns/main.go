@@ -30,6 +30,7 @@ func main() {
 	commitWorkers := flag.Int("commit-workers", 0, "world builder commit mode: 0 = serial install, ≥1 = commit compiled layouts on this worker pool width (same world either way)")
 	probeWorkers := flag.Int("probe-workers", 0, "fleet probe mode: 0 = per-domain calls, ≥1 = submit each round as this many probe batches through the shared exchange layer (same results either way)")
 	probeCadence := flag.Duration("probe-cadence", 0, "fleet revalidation cadence decoupled from TTL (0 = default 10m interval)")
+	applyWorkers := flag.Int("apply-workers", 0, "fleet apply mode: 0 = serial state apply + delivery, ≥1 = apply probe results on this many workers behind a sequencing reorder buffer (same results either way)")
 	snapshot := flag.String("snapshot", "", "persistent world snapshot path: a matching snapshot replaces the compile phase, a miss compiles then saves here (same world either way)")
 	verbose := flag.Bool("v", false, "print every confirmed transient domain")
 	export := flag.String("export", "", "write candidates to this file in columnar format")
@@ -42,6 +43,7 @@ func main() {
 		LookaheadWindow: *lookaheadWindow,
 		BuildWorkers:    *buildWorkers, CommitWorkers: *commitWorkers,
 		ProbeWorkers: *probeWorkers, ProbeCadence: *probeCadence,
+		ApplyWorkers: *applyWorkers,
 		SnapshotPath: *snapshot,
 	})
 	fmt.Printf("simulated %d weeks at scale %g in %v\n", *weeks, *scale, time.Since(start).Round(time.Millisecond))
@@ -75,6 +77,10 @@ func main() {
 	if *lookaheadWindow > 0 {
 		fmt.Printf("  lookahead drain: %d windows, %d speculative fires, %d conflicts, %d barrier events\n",
 			fr.Engine.Windows, fr.Engine.SpecFired, fr.Engine.Conflicts, fr.Engine.Barriers)
+	}
+	if *applyWorkers > 0 {
+		fmt.Printf("  apply engine: %d applies fanned out, %d released in order, %d held for resequencing\n",
+			fr.ParallelApplies, fr.ReorderReleases, fr.ReorderHeld)
 	}
 	if *rdapWorkers > 0 {
 		d := fr.Dispatch

@@ -34,13 +34,14 @@ func main() {
 	commitWorkers := flag.Int("commit-workers", 0, "world builder commit mode: 0 = serial install, ≥1 = commit compiled layouts on this worker pool width (byte-identical output either way)")
 	probeWorkers := flag.Int("probe-workers", 0, "fleet probe mode: 0 = per-domain calls, ≥1 = submit each round as this many probe batches through the shared exchange layer (byte-identical output either way)")
 	probeCadence := flag.Duration("probe-cadence", 0, "fleet revalidation cadence decoupled from TTL (0 = default 10m interval)")
+	applyWorkers := flag.Int("apply-workers", 0, "fleet apply mode: 0 = serial state apply + delivery, ≥1 = apply probe results on this many workers behind a sequencing reorder buffer (byte-identical output either way)")
 	snapshot := flag.String("snapshot", "", "persistent world snapshot path: a matching snapshot replaces the compile phase, a miss compiles then saves here (byte-identical output either way)")
 	exp := flag.String("exp", "all", "experiment to run (table1..table5, figure1, figure2, nsstability, rdapfail, blocklists, nod, cctld, rzu, mail, all)")
 	csvDir := flag.String("csv", "", "directory to write figure CSVs for external plotting")
 	flag.Parse()
 
-	fmt.Fprintf(os.Stderr, "building world (scale=%g, weeks=%d, seed=%d, build-workers=%d, commit-workers=%d, ingest-workers=%d, rdap-workers=%d, clock-workers=%d, lookahead-window=%d, probe-workers=%d)…\n",
-		*scale, *weeks, *seed, *buildWorkers, *commitWorkers, *ingestWorkers, *rdapWorkers, *clockWorkers, *lookaheadWindow, *probeWorkers)
+	fmt.Fprintf(os.Stderr, "building world (scale=%g, weeks=%d, seed=%d, build-workers=%d, commit-workers=%d, ingest-workers=%d, rdap-workers=%d, clock-workers=%d, lookahead-window=%d, probe-workers=%d, apply-workers=%d)…\n",
+		*scale, *weeks, *seed, *buildWorkers, *commitWorkers, *ingestWorkers, *rdapWorkers, *clockWorkers, *lookaheadWindow, *probeWorkers, *applyWorkers)
 	start := time.Now()
 	res := analysis.Run(analysis.RunConfig{
 		Seed: *seed, Scale: *scale, Weeks: *weeks, WatchSampleRate: *watch, ProbeMail: true,
@@ -48,6 +49,7 @@ func main() {
 		LookaheadWindow: *lookaheadWindow,
 		BuildWorkers:    *buildWorkers, CommitWorkers: *commitWorkers,
 		ProbeWorkers: *probeWorkers, ProbeCadence: *probeCadence,
+		ApplyWorkers: *applyWorkers,
 		SnapshotPath: *snapshot,
 	})
 	fmt.Fprintf(os.Stderr, "simulation complete in %v: %d candidates, %d transient lower bound\n",
@@ -55,6 +57,10 @@ func main() {
 	fr := res.Fleet.Report()
 	fmt.Fprintf(os.Stderr, "event engine: %d scheduled, %d fired; fleet coalesced %d probes into %d rounds (max %d wide)\n",
 		fr.Engine.Scheduled, fr.Engine.Fired, fr.Probes, fr.Rounds, fr.MaxRound)
+	if *applyWorkers > 0 {
+		fmt.Fprintf(os.Stderr, "apply engine: %d applies fanned out, %d released in order, %d held for resequencing\n",
+			fr.ParallelApplies, fr.ReorderReleases, fr.ReorderHeld)
+	}
 	if *rdapWorkers > 0 {
 		d := fr.Dispatch
 		fmt.Fprintf(os.Stderr, "rdap dispatch: %d enqueued, %d completed (%d failed), %d shed over %d TLD queues (max depth %d)\n",

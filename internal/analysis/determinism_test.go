@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"bytes"
+	"path/filepath"
 	"testing"
 )
 
@@ -304,6 +305,62 @@ func TestSerialBatchedClockCampaignsIdentical(t *testing.T) {
 		if got := render(run); !bytes.Equal(serial, got) {
 			t.Errorf("clock-workers=%d rdap-workers=%d ingest-workers=%d report diverges from serial",
 				cfg.ClockWorkers, cfg.RDAPWorkers, cfg.IngestWorkers)
+		}
+	}
+}
+
+// TestSerialParallelApplyCampaignsIdentical: the acceptance bar for the
+// apply engine — a fixed-seed campaign must render byte-identical
+// evaluation reports whether stage 2 of every fleet round applies state
+// and delivers observations inline (ApplyWorkers=0), through a
+// single-worker fan-out (1), or across eight workers resequenced by the
+// reorder buffer (8), alone and stacked with all eight prior engines
+// (batched ingest, async RDAP dispatch, batched clock drain, optimistic
+// lookahead, parallel build and commit, batched probes, and a world
+// snapshot shared between the stacked runs). Engine runs must also
+// actually fan out: every probe counts one apply and one in-order
+// release.
+func TestSerialParallelApplyCampaignsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("five full campaigns")
+	}
+	base := RunConfig{Seed: 67, Scale: 0.0008, Weeks: 2, WatchSampleRate: 1.0, ProbeMail: true}
+	render := func(cfg RunConfig) ([]byte, *Results) {
+		r := Run(cfg)
+		var buf bytes.Buffer
+		if err := WriteReport(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), r
+	}
+	serial, _ := render(base)
+	snap := filepath.Join(t.TempDir(), "world.dsnap")
+	for _, cfg := range []RunConfig{
+		{ApplyWorkers: 1},
+		{ApplyWorkers: 8},
+		{ApplyWorkers: 8, ProbeWorkers: 8, LookaheadWindow: 8, ClockWorkers: 8,
+			CommitWorkers: 8, BuildWorkers: 8, RDAPWorkers: 8, IngestWorkers: 8,
+			SnapshotPath: snap},
+	} {
+		run := base
+		run.ApplyWorkers = cfg.ApplyWorkers
+		run.ProbeWorkers = cfg.ProbeWorkers
+		run.LookaheadWindow = cfg.LookaheadWindow
+		run.ClockWorkers = cfg.ClockWorkers
+		run.CommitWorkers = cfg.CommitWorkers
+		run.BuildWorkers = cfg.BuildWorkers
+		run.RDAPWorkers = cfg.RDAPWorkers
+		run.IngestWorkers = cfg.IngestWorkers
+		run.SnapshotPath = cfg.SnapshotPath
+		got, res := render(run)
+		if !bytes.Equal(serial, got) {
+			t.Errorf("apply-workers=%d (stacked=%v) report diverges from serial",
+				cfg.ApplyWorkers, cfg.IngestWorkers > 0)
+		}
+		fr := res.Fleet.Report()
+		if fr.ParallelApplies != fr.Probes || fr.ReorderReleases != fr.Probes {
+			t.Errorf("apply-workers=%d: applies=%d releases=%d, want both == probes=%d",
+				cfg.ApplyWorkers, fr.ParallelApplies, fr.ReorderReleases, fr.Probes)
 		}
 	}
 }

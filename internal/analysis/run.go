@@ -84,9 +84,18 @@ type RunConfig struct {
 	// partitions each round into that many contiguous slices and submits
 	// each as one batch through the probe engine's shared exchange layer.
 	// Observation streams — and therefore campaign reports — are
-	// byte-identical across widths (results are positional and the apply
-	// stage stays serial in admission order).
+	// byte-identical across widths (results are positional and
+	// observation delivery stays in admission order).
 	ProbeWorkers int
+	// ApplyWorkers selects stage 2 of every fleet round: 0 applies
+	// domain state and delivers observations inline in admission order
+	// (the serial path), ≥1 fans state applies across this many workers
+	// as probe results land, with a sequencing reorder buffer in front
+	// of the observers releasing delivery strictly in admission order.
+	// Observation streams — and therefore campaign reports — are
+	// byte-identical across widths (the buffer reproduces the serial
+	// delivery order exactly).
+	ApplyWorkers int
 	// ProbeCadence decouples the fleet's revalidation interval from the
 	// default 10-minute round, per Afek & Litmanovich's TTL-decoupled
 	// revalidation. Zero keeps the default cadence.
@@ -126,6 +135,7 @@ func Run(cfg RunConfig) *Results {
 	fleetCfg.StopWhenDead = true
 	fleetCfg.ProbeMail = cfg.ProbeMail
 	fleetCfg.ProbeWorkers = cfg.ProbeWorkers
+	fleetCfg.ApplyWorkers = cfg.ApplyWorkers
 	if cfg.ProbeCadence > 0 {
 		fleetCfg.Revalidate.Cadence = cfg.ProbeCadence
 	}

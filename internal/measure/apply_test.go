@@ -1,0 +1,520 @@
+package measure
+
+import (
+	"fmt"
+	"net/netip"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"darkdns/internal/dnsname"
+	"darkdns/internal/simclock"
+)
+
+// --- reorder buffer unit tests ---------------------------------------
+
+// TestReorderBufferMaximalRange: completions 1,2,3 then 0 must come out
+// as one release [0,4) — the pump coalesces every contiguous completed
+// slot past the cursor, it never releases one at a time.
+func TestReorderBufferMaximalRange(t *testing.T) {
+	b := newReorderBuffer(5)
+	for _, slot := range []int{1, 2, 3, 0} {
+		b.complete(slot)
+	}
+	lo, hi, ok := b.release()
+	if !ok || lo != 0 || hi != 4 {
+		t.Fatalf("release = [%d,%d) ok=%v, want [0,4) true", lo, hi, ok)
+	}
+	b.complete(4)
+	lo, hi, ok = b.release()
+	if !ok || lo != 4 || hi != 5 {
+		t.Fatalf("release = [%d,%d) ok=%v, want [4,5) true", lo, hi, ok)
+	}
+	if _, _, ok = b.release(); ok {
+		t.Fatal("release after all slots must report done")
+	}
+}
+
+// TestReorderBufferAdversarialOrders drives the buffer with completion
+// permutations matching the adversarial backend's repertoire and checks
+// the released sequence is always 0..n-1 in order. For orders that hold
+// slot 0 to the end the held counter is deterministic: every other
+// completion arrives ahead of a cursor pinned at 0, so held == n-1.
+func TestReorderBufferAdversarialOrders(t *testing.T) {
+	const n = 16
+	orders := map[string]struct {
+		slots    []int
+		wantHeld int64 // -1 = scheduling-dependent, don't assert
+	}{
+		"in-order":    {slots: seq(0, n, 1), wantHeld: -1},
+		"reverse":     {slots: seq(n-1, -1, -1), wantHeld: n - 1},
+		"straggler":   {slots: append(seq(1, n, 1), 0), wantHeld: n - 1},
+		"interleaved": {slots: append(seq(1, n, 2), seq(0, n, 2)...), wantHeld: n - 1},
+	}
+	for name, order := range orders {
+		t.Run(name, func(t *testing.T) {
+			if len(order.slots) != n {
+				t.Fatalf("bad order: %v", order.slots)
+			}
+			b := newReorderBuffer(n)
+			var released []int
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for {
+					lo, hi, ok := b.release()
+					if !ok {
+						return
+					}
+					for i := lo; i < hi; i++ {
+						released = append(released, i)
+					}
+				}
+			}()
+			for _, slot := range order.slots {
+				b.complete(slot)
+			}
+			<-done
+			if !reflect.DeepEqual(released, seq(0, n, 1)) {
+				t.Errorf("released %v, want 0..%d in order", released, n-1)
+			}
+			if order.wantHeld >= 0 && b.held != order.wantHeld {
+				t.Errorf("held = %d, want %d", b.held, order.wantHeld)
+			}
+		})
+	}
+}
+
+// seq returns [from, to) stepping by step (negative steps count down).
+func seq(from, to, step int) []int {
+	var out []int
+	for i := from; (step > 0 && i < to) || (step < 0 && i > to); i += step {
+		out = append(out, i)
+	}
+	return out
+}
+
+// --- permutation-injecting backend ------------------------------------
+
+// permBatchBackend completes a round's probe slices in an adversarial
+// order: every full-width slice blocks at a rendezvous gate until all
+// slices of the round have arrived, then the gate releases them one at a
+// time in the order the test's permutation dictates. Slice identity is
+// the admission index of the slice's first domain. Single-domain batches
+// (admission probes) and partial-width rounds bypass the gate, so the
+// adversary only engages on the full coalesced rounds it was shaped for.
+// Requires ProbeWorkers == slices so every slice has a live goroutine at
+// the gate (probeBatched runs w slices on w workers).
+type permBatchBackend struct {
+	*fakeBackend
+	sliceLen int
+	slices   int
+	rank     map[int]int    // slice id → release rank per the permutation
+	idx      map[string]int // domain → admission index
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	arrived  int
+	released int
+	gated    atomic.Int64 // slices that went through the gate
+}
+
+func newPermBackend(sliceLen int, perm []int) *permBatchBackend {
+	b := &permBatchBackend{
+		fakeBackend: newFakeBackend(),
+		sliceLen:    sliceLen,
+		slices:      len(perm),
+		rank:        make(map[int]int, len(perm)),
+		idx:         make(map[string]int),
+	}
+	for r, s := range perm {
+		b.rank[s] = r
+	}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *permBatchBackend) ProbeBatch(domains []string, mail bool) []ProbeResult {
+	out := make([]ProbeResult, len(domains))
+	for i, d := range domains {
+		pr := &out[i]
+		pr.NS, pr.InZone = b.AuthoritativeNS(d)
+		if pr.InZone {
+			pr.V4 = b.LookupA(d)
+			pr.V6 = b.LookupAAAA(d)
+		}
+	}
+	if len(domains) == b.sliceLen {
+		b.gate(b.idx[domains[0]] / b.sliceLen)
+	}
+	return out
+}
+
+// gate is the rendezvous: block until every slice of the round arrived,
+// then return in permutation-rank order. The last slice out resets the
+// gate for the next round.
+func (b *permBatchBackend) gate(slice int) {
+	b.gated.Add(1)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.arrived++
+	b.cond.Broadcast()
+	for b.arrived < b.slices || b.released != b.rank[slice] {
+		b.cond.Wait()
+	}
+	b.released++
+	if b.released == b.slices {
+		b.arrived, b.released = 0, 0
+	}
+	b.cond.Broadcast()
+}
+
+// obsLog registers a canonical observation log on f.
+func obsLog(f *Fleet) *[]string {
+	var log []string
+	f.OnObservation(func(o Observation) {
+		log = append(log, fmt.Sprintf("%s|%s|%d|%v|%v|%v",
+			o.At.Format(time.RFC3339), o.Domain, o.Worker, o.InZone, o.NS, o.V4))
+	})
+	return &log
+}
+
+// applyScript drives the canonical apply-engine campaign shape against
+// backend: watch the 40 given domains (scripted alive), take a third
+// down at 2 h, advance to 4 h. Returns the observation log and report.
+func applyScript(f *Fleet, b *fakeBackend, clk *simclock.Sim, domains []string) ([]string, FleetReport) {
+	log := obsLog(f)
+	for _, d := range domains {
+		b.set(d, []string{"ns1.a.net"}, netip.MustParseAddr("192.0.2.1"))
+		f.Watch(d)
+	}
+	clk.Advance(2 * time.Hour)
+	for i := 0; i < len(domains); i += 3 {
+		b.set(domains[i], nil) // takedown wave
+	}
+	clk.Advance(2 * time.Hour)
+	return *log, f.Report()
+}
+
+// TestApplyPermutationAdversarialOrders is the apply engine's property
+// test: for every adversarial probe-completion order — reverse,
+// interleaved, one-straggler, and a shard-colliding watch set — the
+// delivered observation sequence must be identical to the serial path's,
+// and every probe must count exactly one apply and one in-order release.
+func TestApplyPermutationAdversarialOrders(t *testing.T) {
+	const sliceLen, slices = 5, 8 // 40 domains at ProbeWorkers=8
+	perms := map[string][]int{
+		"identity":    {0, 1, 2, 3, 4, 5, 6, 7},
+		"reverse":     {7, 6, 5, 4, 3, 2, 1, 0},
+		"interleaved": {1, 3, 5, 7, 0, 2, 4, 6},
+		"straggler":   {1, 2, 3, 4, 5, 6, 7, 0},
+	}
+	domainSets := map[string][]string{
+		"spread":          nDomains(40),
+		"shard-colliding": collidingDomains(40),
+	}
+
+	for setName, domains := range domainSets {
+		// Serial baseline: per-domain probes, inline apply + delivery.
+		sf, sclk := newFleet(newFakeBackend())
+		want, _ := applyScript(sf, sf.backend.(*fakeBackend), sclk, domains)
+		if len(want) == 0 {
+			t.Fatal("serial baseline produced no observations")
+		}
+
+		for permName, perm := range perms {
+			for _, aw := range []int{1, 8} {
+				name := fmt.Sprintf("%s/%s/apply-%d", setName, permName, aw)
+				t.Run(name, func(t *testing.T) {
+					b := newPermBackend(sliceLen, perm)
+					for i, d := range domains {
+						b.idx[d] = i
+					}
+					clk := simclock.NewSim(t0)
+					cfg := DefaultConfig()
+					cfg.ProbeWorkers = slices
+					cfg.ApplyWorkers = aw
+					f := NewFleet(cfg, clk, b)
+					got, rep := applyScript(f, b.fakeBackend, clk, domains)
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("observation stream diverges from serial (%d vs %d entries)", len(got), len(want))
+					}
+					if b.gated.Load() == 0 {
+						t.Fatal("adversarial gate never engaged")
+					}
+					if rep.ParallelApplies != rep.Probes || rep.ReorderReleases != rep.Probes {
+						t.Errorf("applies=%d releases=%d, want both == probes=%d",
+							rep.ParallelApplies, rep.ReorderReleases, rep.Probes)
+					}
+					// Any order that withholds slice 0 forces later slots
+					// through the buffer while the cursor waits at the
+					// round's first slot, so resequencing must be visible.
+					if permName != "identity" && aw == 8 && rep.ReorderHeld == 0 {
+						t.Errorf("%s: no applies held — adversarial order never resequenced", permName)
+					}
+				})
+			}
+		}
+	}
+}
+
+// nDomains returns n distinct scripted domains in admission order.
+func nDomains(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = domainN(i)
+	}
+	return out
+}
+
+// collidingDomains returns n domains that all hash to watch shard 0, so
+// every concurrent apply contends on a single shard lock.
+func collidingDomains(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; len(out) < n; i++ {
+		d := fmt.Sprintf("c%d.com", i)
+		if dnsname.Hash64(d)&(watchShards-1) == 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// TestApplyWidthCombosDeterministic covers the width cross-products the
+// engine must be indifferent to: more probe slices than apply workers,
+// more apply workers than probe slices, the apply engine over per-domain
+// (non-batch) stage 1, and a single apply worker.
+func TestApplyWidthCombosDeterministic(t *testing.T) {
+	domains := nDomains(40)
+	sf, sclk := newFleet(newFakeBackend())
+	want, _ := applyScript(sf, sf.backend.(*fakeBackend), sclk, domains)
+
+	combos := []struct {
+		name   string
+		pw, aw int
+	}{
+		{"probe8-apply2", 8, 2},
+		{"probe2-apply8", 2, 8},
+		{"per-domain-apply8", 0, 8},
+		{"probe8-apply1", 8, 1},
+	}
+	for _, c := range combos {
+		t.Run(c.name, func(t *testing.T) {
+			b := &fakeBatchBackend{fakeBackend: newFakeBackend()}
+			clk := simclock.NewSim(t0)
+			cfg := DefaultConfig()
+			cfg.ProbeWorkers = c.pw
+			cfg.ApplyWorkers = c.aw
+			f := NewFleet(cfg, clk, b)
+			got, rep := applyScript(f, b.fakeBackend, clk, domains)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("observation stream diverges from serial (%d vs %d entries)", len(got), len(want))
+			}
+			// The Stats contract: every probe is exactly one apply and one
+			// in-order release, at any width combination.
+			if rep.ParallelApplies != rep.Probes || rep.ReorderReleases != rep.ParallelApplies {
+				t.Errorf("probes=%d applies=%d releases=%d, want all equal",
+					rep.Probes, rep.ParallelApplies, rep.ReorderReleases)
+			}
+		})
+	}
+}
+
+// TestApplySingleWatchRound: a one-domain campaign rides the engine's
+// degenerate single-slot path — no goroutines, but the same counters and
+// the same observable stream as the serial path.
+func TestApplySingleWatchRound(t *testing.T) {
+	sb := newFakeBackend()
+	sf, sclk := newFleet(sb)
+	slog := obsLog(sf)
+	sb.set("solo.com", []string{"ns1.a.net"})
+	sf.Watch("solo.com")
+	sclk.Advance(2 * time.Hour)
+
+	b := newFakeBackend()
+	clk := simclock.NewSim(t0)
+	cfg := DefaultConfig()
+	cfg.ApplyWorkers = 8
+	f := NewFleet(cfg, clk, b)
+	plog := obsLog(f)
+	b.set("solo.com", []string{"ns1.a.net"})
+	f.Watch("solo.com")
+	clk.Advance(2 * time.Hour)
+
+	if !reflect.DeepEqual(*slog, *plog) {
+		t.Fatalf("single-watch stream diverges: %d vs %d entries", len(*plog), len(*slog))
+	}
+	rep := f.Report()
+	if rep.Probes != 13 || rep.ParallelApplies != 13 || rep.ReorderReleases != 13 {
+		t.Errorf("probes=%d applies=%d releases=%d, want 13 each (1 admission + 12 rounds)",
+			rep.Probes, rep.ParallelApplies, rep.ReorderReleases)
+	}
+	if rep.ReorderHeld != 0 {
+		t.Errorf("held=%d on single-slot rounds, want 0", rep.ReorderHeld)
+	}
+}
+
+// TestStopWhenDeadRacingStragglerApply: retirement happens inside apply
+// (Finished + active decrement) while the straggler permutation holds
+// the round's first slice hostage — the death round's later slots apply and
+// wait in the buffer while earlier slots are still probing. Final states
+// and the observation stream must match the serial path exactly.
+func TestStopWhenDeadRacingStragglerApply(t *testing.T) {
+	domains := nDomains(40)
+	script := func(f *Fleet, b *fakeBackend, clk *simclock.Sim) ([]string, []DomainState) {
+		log := obsLog(f)
+		for _, d := range domains {
+			b.set(d, []string{"ns1.a.net"})
+			f.Watch(d)
+		}
+		clk.Advance(2 * time.Hour)
+		for i := 0; i < len(domains); i += 3 {
+			b.set(domains[i], nil)
+		}
+		clk.Advance(2 * time.Hour)
+		return *log, f.States()
+	}
+
+	scfg := DefaultConfig()
+	scfg.StopWhenDead = true
+	sb := newFakeBackend()
+	sf := NewFleet(scfg, simclock.NewSim(t0), sb)
+	wantLog, wantStates := script(sf, sb, sf.clk.(*simclock.Sim))
+
+	b := newPermBackend(5, []int{1, 2, 3, 4, 5, 6, 7, 0})
+	for i, d := range domains {
+		b.idx[d] = i
+	}
+	cfg := DefaultConfig()
+	cfg.StopWhenDead = true
+	cfg.ProbeWorkers = 8
+	cfg.ApplyWorkers = 8
+	f := NewFleet(cfg, simclock.NewSim(t0), b)
+	gotLog, gotStates := script(f, b.fakeBackend, f.clk.(*simclock.Sim))
+
+	if !reflect.DeepEqual(wantLog, gotLog) {
+		t.Errorf("observation stream diverges (%d vs %d entries)", len(gotLog), len(wantLog))
+	}
+	if !reflect.DeepEqual(wantStates, gotStates) {
+		t.Error("final domain states diverge from serial path")
+	}
+	if b.gated.Load() == 0 {
+		t.Fatal("adversarial gate never engaged")
+	}
+}
+
+// --- satellite 1: empty-round guard -----------------------------------
+
+// TestProbeBatchedEmptyRoundGuard: the bounds arithmetic divides by the
+// clamped worker count, so an empty target slice must return before it
+// (regression: i * 0 / 0 panicked).
+func TestProbeBatchedEmptyRoundGuard(t *testing.T) {
+	b := &fakeBatchBackend{fakeBackend: newFakeBackend()}
+	clk := simclock.NewSim(t0)
+	cfg := DefaultConfig()
+	cfg.ProbeWorkers = 8
+	f := NewFleet(cfg, clk, b)
+	f.probeBatched(b, nil, nil, t0, false, nil) // must not panic
+	if b.batches.Load() != 0 {
+		t.Error("empty round must not call ProbeBatch")
+	}
+}
+
+// TestActiveSetEmptiesMidCampaign drives the end-to-end shape of the
+// regression: a StopWhenDead campaign whose whole watch set dies at once
+// leaves the next round with zero due targets, and the fleet must drain
+// cleanly through it at every engine width.
+func TestActiveSetEmptiesMidCampaign(t *testing.T) {
+	for _, aw := range []int{0, 8} {
+		t.Run(fmt.Sprintf("apply-%d", aw), func(t *testing.T) {
+			b := &fakeBatchBackend{fakeBackend: newFakeBackend()}
+			clk := simclock.NewSim(t0)
+			cfg := DefaultConfig()
+			cfg.ProbeWorkers = 8
+			cfg.ApplyWorkers = aw
+			cfg.StopWhenDead = true
+			f := NewFleet(cfg, clk, b)
+			for _, d := range nDomains(8) {
+				b.set(d, []string{"ns1.a.net"})
+				f.Watch(d)
+			}
+			clk.Advance(time.Hour)
+			for _, d := range nDomains(8) {
+				b.set(d, nil) // everything dies between rounds
+			}
+			clk.Advance(47 * time.Hour) // must not panic on the emptied rounds
+			rep := f.Report()
+			if rep.Finished != 8 || rep.Died != 8 {
+				t.Errorf("finished=%d died=%d, want 8 each", rep.Finished, rep.Died)
+			}
+			if clk.Pending() != 0 {
+				t.Errorf("clock not drained: %d events pending", clk.Pending())
+			}
+		})
+	}
+}
+
+// --- race hammer -------------------------------------------------------
+
+// TestApplyEngineShardContentionRaceHammer is the -race workout: a watch
+// set that all hashes to one shard (maximum apply-lock contention),
+// admitted from concurrent goroutines, probed through the full engine
+// stack while readers hammer State/States/Report. Correctness here is
+// "the race detector stays quiet and the counters balance".
+func TestApplyEngineShardContentionRaceHammer(t *testing.T) {
+	domains := collidingDomains(64)
+	b := &fakeBatchBackend{fakeBackend: newFakeBackend()}
+	clk := simclock.NewSim(t0)
+	cfg := DefaultConfig()
+	cfg.ProbeWorkers = 8
+	cfg.ApplyWorkers = 8
+	f := NewFleet(cfg, clk, b)
+	for _, d := range domains {
+		b.set(d, []string{"ns1.a.net"}, netip.MustParseAddr("192.0.2.1"))
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g * 16; i < (g+1)*16; i++ {
+				f.Watch(domains[i])
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					f.States()
+					f.Report()
+					f.State(domains[0])
+				}
+			}
+		}()
+	}
+	clk.Advance(3 * time.Hour)
+	close(stop)
+	readers.Wait()
+
+	rep := f.Report()
+	if rep.Watched != 64 || rep.Probes == 0 {
+		t.Fatalf("watched=%d probes=%d", rep.Watched, rep.Probes)
+	}
+	if rep.ParallelApplies != rep.Probes || rep.ReorderReleases != rep.Probes {
+		t.Errorf("applies=%d releases=%d, want both == probes=%d",
+			rep.ParallelApplies, rep.ReorderReleases, rep.Probes)
+	}
+}

@@ -11,9 +11,16 @@
 // arms a single clock event per 10-minute round and probes every active
 // watch in that round through its worker pool — the probe batch resolves
 // concurrently (backend reads are side-effect-free), then states update
-// and observers fire serially in watch-admission order, which is exactly
-// the delivery order the per-domain scheduler produced. Event count per
+// and observers fire in watch-admission order, which is exactly the
+// delivery order the per-domain scheduler produced. Event count per
 // campaign therefore scales with rounds, not probes.
+//
+// Stage 2 of a round — per-domain state apply + observer delivery — runs
+// serially by default, or (Config.ApplyWorkers ≥ 1) through the apply
+// engine: applies fan out across workers as probe results land, striped
+// onto the watch registry's shard locks, while a sequencing reorder
+// buffer in front of the observers releases delivery strictly in
+// admission order (DESIGN.md §14).
 //
 // Concurrency model (DESIGN.md §7): the watch registry is sharded 32
 // ways with copy-on-write observer lists; round probe batches fan out on
@@ -138,6 +145,15 @@ type Config struct {
 	// and results positional, so fleet output is byte-identical at any
 	// width (the probe-engine determinism contract).
 	ProbeWorkers int
+	// ApplyWorkers selects the apply engine for stage 2 of every round:
+	// 0 applies state and delivers observations inline in admission
+	// order (the serial baseline), ≥1 fans Fleet.apply across this many
+	// workers as probe results land — safe because applies stripe onto
+	// the watch registry's shard locks — while a sequencing reorder
+	// buffer in front of the observers releases delivery strictly in
+	// admission order, so apply width never reorders an observable
+	// (the apply-engine determinism contract, DESIGN.md §14).
+	ApplyWorkers int
 	// Revalidate is the probe-cadence policy; its Cadence, when set,
 	// overrides Interval.
 	Revalidate RevalidatePolicy
@@ -206,6 +222,11 @@ type Fleet struct {
 
 	rounds   atomic.Int64 // coalesced rounds executed
 	maxRound atomic.Int64 // widest round (domains probed in one event)
+
+	// Apply-engine counters (zero on the serial stage-2 path).
+	applies  atomic.Int64 // state applies executed by the apply fan-out
+	releases atomic.Int64 // observations released through the reorder buffer
+	heldBack atomic.Int64 // applies that completed ahead of the release cursor
 
 	// observers is a copy-on-write list: registrations are rare and
 	// serialized by obsMu, probe ticks read it lock-free.
@@ -412,39 +433,22 @@ type roundResult struct {
 // BatchBackend) one ProbeBatch call per worker slice so the transport
 // pipelines a whole sub-batch of queries at once. Backend reads are
 // side-effect-free, so execution order is unobservable. Stage 2 applies
-// state updates and delivers observations serially in watch-admission
-// order, the order the per-domain scheduler produced; probe width
-// therefore never reorders an observable, and campaigns stay
-// byte-identical across serial and batched probe modes and clock drains.
+// state updates and delivers observations in watch-admission order, the
+// order the per-domain scheduler produced — inline on this goroutine by
+// default, or through the apply engine's fan-out + reorder buffer when
+// ApplyWorkers ≥ 1 (apply.go); probe and apply width therefore never
+// reorder an observable, and campaigns stay byte-identical across
+// serial and batched probe modes, apply widths, and clock drains.
 func (f *Fleet) probeRound(targets []*DomainState, now time.Time) {
 	if len(targets) == 0 {
 		return
 	}
-	results := make([]roundResult, len(targets))
-	mb, hasMail := f.backend.(MailBackend)
-	probeMail := f.cfg.ProbeMail && hasMail
-	if bb, ok := f.backend.(BatchBackend); ok && f.cfg.ProbeWorkers > 0 {
-		f.probeBatched(bb, targets, results, now, probeMail)
-	} else {
-		workpool.Run(len(targets), f.cfg.Workers, func(i int) {
-			st := targets[i]
-			obs := Observation{Domain: st.Domain, Worker: st.worker, At: now}
-			ns, inZone := f.backend.AuthoritativeNS(st.Domain)
-			obs.InZone = inZone
-			if inZone {
-				obs.NS = append([]string(nil), ns...)
-				sort.Strings(obs.NS)
-				obs.V4 = f.backend.LookupA(st.Domain)
-				obs.V6 = f.backend.LookupAAAA(st.Domain)
-				if probeMail {
-					results[i].mx = mb.LookupMX(st.Domain)
-					results[i].txt = mb.LookupTXT(st.Domain)
-				}
-			}
-			results[i].obs = obs
-		})
+	if f.cfg.ApplyWorkers > 0 {
+		f.roundPipelined(targets, now)
+		return
 	}
-
+	results := make([]roundResult, len(targets))
+	f.probeStage(targets, results, now, nil)
 	obsFns := f.observers.Load()
 	for i, st := range targets {
 		f.apply(st, &results[i], now)
@@ -456,6 +460,41 @@ func (f *Fleet) probeRound(targets []*DomainState, now time.Time) {
 	}
 }
 
+// probeStage is stage 1 of a round: resolve every target and fill the
+// positional results slice. landed, when non-nil, is invoked once per
+// completed contiguous range [lo, hi) as soon as those results are
+// final — the apply engine feeds its fan-out from this callback, so
+// applies start while slower slices are still resolving. landed may be
+// called concurrently from multiple pool workers.
+func (f *Fleet) probeStage(targets []*DomainState, results []roundResult, now time.Time, landed func(lo, hi int)) {
+	mb, hasMail := f.backend.(MailBackend)
+	probeMail := f.cfg.ProbeMail && hasMail
+	if bb, ok := f.backend.(BatchBackend); ok && f.cfg.ProbeWorkers > 0 {
+		f.probeBatched(bb, targets, results, now, probeMail, landed)
+		return
+	}
+	workpool.Run(len(targets), f.cfg.Workers, func(i int) {
+		st := targets[i]
+		obs := Observation{Domain: st.Domain, Worker: st.worker, At: now}
+		ns, inZone := f.backend.AuthoritativeNS(st.Domain)
+		obs.InZone = inZone
+		if inZone {
+			obs.NS = append([]string(nil), ns...)
+			sort.Strings(obs.NS)
+			obs.V4 = f.backend.LookupA(st.Domain)
+			obs.V6 = f.backend.LookupAAAA(st.Domain)
+			if probeMail {
+				results[i].mx = mb.LookupMX(st.Domain)
+				results[i].txt = mb.LookupTXT(st.Domain)
+			}
+		}
+		results[i].obs = obs
+		if landed != nil {
+			landed(i, i+1)
+		}
+	})
+}
+
 // probeBatched is stage 1 of a round in batch mode: the target list is
 // partitioned into ProbeWorkers contiguous slices (admission order
 // preserved inside each slice) and each worker submits its whole slice
@@ -465,7 +504,14 @@ func (f *Fleet) probeRound(targets []*DomainState, now time.Time) {
 // path would have filled — and mail fields are copied only when the
 // probe is in-zone, mirroring the serial path so a backend that answers
 // MX/TXT for out-of-zone names cannot diverge the campaign.
-func (f *Fleet) probeBatched(bb BatchBackend, targets []*DomainState, results []roundResult, now time.Time, probeMail bool) {
+func (f *Fleet) probeBatched(bb BatchBackend, targets []*DomainState, results []roundResult, now time.Time, probeMail bool, landed func(lo, hi int)) {
+	// An empty round must return before the slice-bound arithmetic:
+	// clamping w to len(targets) below would zero the bounds divisor. A
+	// StopWhenDead campaign whose active set empties mid-flight is the
+	// path that lands here.
+	if len(targets) == 0 {
+		return
+	}
 	w := f.cfg.ProbeWorkers
 	if w > len(targets) {
 		w = len(targets)
@@ -495,6 +541,9 @@ func (f *Fleet) probeBatched(bb BatchBackend, targets []*DomainState, results []
 				}
 			}
 			results[i].obs = obs
+		}
+		if landed != nil {
+			landed(lo, hi)
 		}
 	})
 }
@@ -606,6 +655,16 @@ type FleetReport struct {
 	NSChanged  int   // domains whose delegation changed mid-watch
 	Rounds     int64 // coalesced probe rounds executed (clock events)
 	MaxRound   int   // most domains probed in one round
+	// Apply-engine counters, all zero when ApplyWorkers == 0.
+	// ParallelApplies and ReorderReleases are deterministic for a given
+	// config (every probe is exactly one apply and one in-order release,
+	// so both equal Probes); ReorderHeld counts applies that completed
+	// ahead of the release cursor and waited in the buffer — a
+	// scheduling-dependent measure of how much resequencing the buffer
+	// actually performed.
+	ParallelApplies int64
+	ReorderReleases int64
+	ReorderHeld     int64
 	// Dispatch holds the attached dispatcher's counters; zero-valued
 	// when step 2 runs on the serial path.
 	Dispatch rdap.DispatchStats
@@ -640,6 +699,9 @@ func (f *Fleet) Report() FleetReport {
 	}
 	rep.Rounds = f.rounds.Load()
 	rep.MaxRound = int(f.maxRound.Load())
+	rep.ParallelApplies = f.applies.Load()
+	rep.ReorderReleases = f.releases.Load()
+	rep.ReorderHeld = f.heldBack.Load()
 	if d := f.dispatcher.Load(); d != nil {
 		rep.Dispatch = d.Stats()
 	}
